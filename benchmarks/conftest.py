@@ -1,0 +1,29 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one figure of the paper at a reduced scale,
+prints the resulting table (so `pytest benchmarks/ --benchmark-only -s`
+reproduces the paper's rows), asserts the qualitative *shape* the paper
+reports, and records headline numbers in ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Experiment drivers are long-running and deterministic; repeated
+    rounds would only burn time without adding information.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(result) -> None:
+    """Print an ExperimentResult (or tuple of them)."""
+    if isinstance(result, tuple):
+        for r in result:
+            print()
+            print(r)
+    else:
+        print()
+        print(result)

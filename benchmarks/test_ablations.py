@@ -1,0 +1,63 @@
+"""Ablation benchmarks — the design-choice studies DESIGN.md calls out."""
+
+from conftest import run_once, show
+
+from repro.experiments import ablation_network, ablation_server, ablation_sleep
+
+
+def test_ablation_server(benchmark):
+    result = run_once(
+        benchmark, ablation_server.run, utilizations=(0.3,), duration_s=25.0
+    )
+    show(result)
+    power = {row[0]: row[2] for row in result.rows}
+
+    # Each ingredient helps (or at worst is neutral); the oracle bounds
+    # everything from below.
+    assert power["oracle"] <= power["eprons-server"] + 0.05
+    assert power["eprons-server"] <= power["eprons-noreorder"] + 0.05
+    assert power["eprons-noreorder"] <= power["rubik+"] + 0.05
+    # EPRONS-Server sits close to the clairvoyant bound (within ~10%).
+    assert power["eprons-server"] <= power["oracle"] * 1.10
+
+    benchmark.extra_info["cpu_w"] = {g: round(p, 2) for g, p in power.items()}
+
+
+def test_ablation_network(benchmark):
+    result = run_once(benchmark, ablation_network.run, n_per_flow=1200)
+    show(result)
+    rows = {(r[0], r[1]): r for r in result.rows}
+
+    for bg in (20.0, 30.0):
+        base = rows[(bg, "bandwidth-only")]
+        aware = rows[(bg, "latency-aware K=4")]
+        # Latency-aware consolidation cuts the query tail by multiples
+        # at the cost of a few switches.
+        assert aware[4] < base[4] / 2
+        assert aware[2] >= base[2]
+        # Only the latency-aware plan keeps queries within the budget.
+        assert aware[6] and not base[6]
+
+    benchmark.extra_info["p95_ms_bg20_baseline"] = round(rows[(20.0, "bandwidth-only")][4], 2)
+    benchmark.extra_info["p95_ms_bg20_k4"] = round(rows[(20.0, "latency-aware K=4")][4], 2)
+
+
+def test_ablation_sleep(benchmark):
+    result = run_once(
+        benchmark, ablation_sleep.run, utilizations=(0.1, 0.4), duration_s=25.0
+    )
+    show(result)
+    table = {(r[0], r[1]): r for r in result.rows}
+
+    # Sleeping dominates at low load; DVFS dominates at higher load;
+    # the hybrid dominates both everywhere; everyone meets the SLA.
+    assert table[("powernap", 10.0)][2] < table[("eprons-server", 10.0)][2]
+    assert table[("eprons-server", 40.0)][2] < table[("powernap", 40.0)][2]
+    for u in (10.0, 40.0):
+        hybrid = table[("eprons+sleep", u)][2]
+        assert hybrid <= table[("powernap", u)][2] + 0.05
+        assert hybrid <= table[("eprons-server", u)][2] + 0.05
+    for row in result.rows:
+        assert row[4], f"{row[0]} missed SLA at {row[1]}%"
+
+    benchmark.extra_info["hybrid_w_10pct"] = round(table[("eprons+sleep", 10.0)][2], 2)

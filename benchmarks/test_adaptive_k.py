@@ -1,0 +1,23 @@
+"""Adaptive scale-factor control benchmark (Section II's dynamic K)."""
+
+from conftest import run_once, show
+
+from repro.experiments import adaptive_k
+
+
+def test_adaptive_k(benchmark):
+    result = run_once(benchmark, adaptive_k.run, epoch_minutes=90)
+    show(result)
+    rows = {r[0]: r for r in result.rows}
+    adaptive, fixed1, fixed4 = rows["adaptive"], rows["fixed-1"], rows["fixed-4"]
+
+    # The closed loop lands between the fixed extremes on both axes:
+    # switch count near fixed-1, tail compliance near fixed-4.
+    assert fixed1[2] <= adaptive[2] <= fixed4[2] + 0.5
+    assert adaptive[4] <= fixed1[4]          # no worse on violations
+    assert adaptive[3] <= fixed1[3] + 0.01   # and not slower on average
+    assert adaptive[5] > 0                   # it actually adapted
+
+    benchmark.extra_info["adaptive_mean_k"] = round(adaptive[1], 2)
+    benchmark.extra_info["adaptive_over_budget"] = adaptive[4]
+    benchmark.extra_info["fixed1_over_budget"] = fixed1[4]

@@ -1,0 +1,27 @@
+"""Fig. 1 benchmark — the utilization→latency knee."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig01_knee
+
+
+def test_fig01_knee(benchmark):
+    result = run_once(benchmark, fig01_knee.run, n_samples=10_000)
+    show(result)
+
+    util = result.column("utilization_pct")
+    mean_us = result.column("mean_us")
+    by_util = dict(zip(util, mean_us))
+
+    # Low-utilization latency sits in the paper's ~139 us regime.
+    assert by_util[20.0] < 250.0
+    # Past the knee the latency explodes by two orders of magnitude
+    # into the paper's ~12 ms regime.
+    knee_val = [m for u, m in zip(util, mean_us) if u >= 89.0][0]
+    assert knee_val > 40 * by_util[20.0]
+    assert 3_000 < knee_val < 40_000  # 3-40 ms window around the paper's 11.98 ms
+    # Monotone increase in utilization.
+    assert mean_us == sorted(mean_us)
+
+    benchmark.extra_info["mean_us_at_20pct"] = round(by_util[20.0], 1)
+    benchmark.extra_info["mean_us_past_knee"] = round(knee_val, 0)

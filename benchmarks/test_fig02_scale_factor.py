@@ -1,0 +1,28 @@
+"""Fig. 2 benchmark — scale factor K separates mice from the elephant."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig02_scale_factor
+
+
+def test_fig02_scale_factor(benchmark):
+    result = run_once(benchmark, fig02_scale_factor.run)
+    show(result)
+
+    rows = {row[0]: row for row in result.rows}
+    k1, k3 = rows[1.0], rows[3.0]
+
+    # K=1: both latency-sensitive flows share the elephant's path and
+    # the subnet is smallest.
+    assert k1[2] and k1[3]
+    # K=3: both mice are pushed onto elephant-free paths, more switches on.
+    assert not k3[2] and not k3[3]
+    assert k3[1] > k1[1]
+    # Their p95 latency collapses once separated.
+    assert k3[4] < k1[4] / 10
+    assert k3[5] < k1[5] / 10
+
+    benchmark.extra_info["switches_k1"] = k1[1]
+    benchmark.extra_info["switches_k3"] = k3[1]
+    benchmark.extra_info["blue_p95_ms_k1"] = round(k1[4], 2)
+    benchmark.extra_info["blue_p95_ms_k3"] = round(k3[4], 3)

@@ -1,0 +1,42 @@
+"""Fig. 4/5 benchmark — violation-probability model."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig04_violation_prob
+
+
+def test_fig04_vp_vs_frequency(benchmark):
+    result = run_once(benchmark, fig04_violation_prob.run_fig4)
+    show(result)
+
+    vp_r1 = result.column("vp_r1_pct")
+    vp_r2e = result.column("vp_r2e_pct")
+    avg = result.column("avg_vp_pct")
+
+    # All three curves decrease with frequency (Fig. 4's shape).
+    assert vp_r1 == sorted(vp_r1, reverse=True)
+    assert vp_r2e == sorted(vp_r2e, reverse=True)
+    # The equivalent request R2e always dominates R1, and the average
+    # sits strictly between them — the gap EPRONS-Server exploits.
+    for a, b, m in zip(vp_r1, vp_r2e, avg):
+        assert a <= m <= b
+
+    benchmark.extra_info["vp_r1_at_fmax_pct"] = round(vp_r1[-1], 2)
+    benchmark.extra_info["vp_r2e_at_fmax_pct"] = round(vp_r2e[-1], 2)
+
+
+def test_fig05_vp_vs_work_budget(benchmark):
+    result = run_once(benchmark, fig04_violation_prob.run_fig5)
+    show(result)
+
+    r1 = result.column("vp_r1e_pct")
+    r2 = result.column("vp_r2e_pct")
+    r3 = result.column("vp_r3e_pct")
+
+    # Each curve is a CCDF: monotone nonincreasing from 100%.
+    for curve in (r1, r2, r3):
+        assert curve[0] == 100.0
+        assert all(a >= b - 1e-9 for a, b in zip(curve, curve[1:]))
+    # Deeper queue positions stochastically dominate.
+    for a, b, c in zip(r1, r2, r3):
+        assert a <= b + 1e-9 <= c + 2e-9

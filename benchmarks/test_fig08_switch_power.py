@@ -1,0 +1,22 @@
+"""Fig. 8 benchmark — switch power is utilization-independent."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig08_switch_power
+
+
+def test_fig08_switch_power(benchmark):
+    result = run_once(benchmark, fig08_switch_power.run)
+    show(result)
+
+    powers = result.column("power_w")
+    deltas = result.column("delta_vs_idle_w")
+
+    # Idle draw matches the measured 97.5 W.
+    assert abs(powers[0] - 97.5) < 1e-9
+    # Full-load delta is the measured 0.59 W — under 1% of idle.
+    assert abs(deltas[-1] - 0.59) < 1e-9
+    assert deltas[-1] / powers[0] < 0.01
+
+    benchmark.extra_info["idle_w"] = powers[0]
+    benchmark.extra_info["full_load_delta_w"] = deltas[-1]

@@ -1,0 +1,24 @@
+"""Fig. 9 benchmark — the four aggregation policies."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig09_aggregation
+
+
+def test_fig09_aggregation_policies(benchmark):
+    result = run_once(benchmark, fig09_aggregation.run)
+    show(result)
+
+    switches = result.column("switches_on")
+    network_w = result.column("network_w")
+    connected = result.column("hosts_connected")
+
+    # The paper's k=4 active-switch counts, exactly.
+    assert switches == [20, 19, 14, 13]
+    # Network power strictly decreases with aggregation depth.
+    assert network_w == sorted(network_w, reverse=True)
+    # No policy ever disconnects servers.
+    assert all(connected)
+
+    benchmark.extra_info["switch_counts"] = switches
+    benchmark.extra_info["network_watts"] = [round(w) for w in network_w]

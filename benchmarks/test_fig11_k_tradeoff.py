@@ -1,0 +1,32 @@
+"""Fig. 11 benchmark — K trades tail latency against active switches."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig11_k_tradeoff
+
+
+def test_fig11_k_tradeoff(benchmark):
+    result = run_once(benchmark, fig11_k_tradeoff.run, n_per_flow=1000)
+    show(result)
+
+    table = {(row[0], row[1]): row for row in result.rows}
+
+    for bg in (20.0, 30.0):
+        # (a) tail latency falls as K rises...
+        p95_k1 = table[(bg, 1.0)][4]
+        p95_k4 = table[(bg, 4.0)][4]
+        assert p95_k4 < p95_k1
+        # ...and (b) more switches are on.
+        assert table[(bg, 4.0)][3] >= table[(bg, 1.0)][3]
+
+    # At 20% background the improvement is substantial (paper: several x).
+    assert table[(20.0, 1.0)][4] / table[(20.0, 4.0)][4] > 2.0
+    # (c) the frontier: switches-on never decreases in K at any bg.
+    for bg in sorted({r[0] for r in result.rows}):
+        counts = [table[(bg, k)][3] for k in (1.0, 2.0, 3.0, 4.0)]
+        assert counts == sorted(counts)
+
+    benchmark.extra_info["p95_ms_bg20_k1"] = round(table[(20.0, 1.0)][4], 2)
+    benchmark.extra_info["p95_ms_bg20_k4"] = round(table[(20.0, 4.0)][4], 2)
+    benchmark.extra_info["switches_bg20_k1"] = table[(20.0, 1.0)][3]
+    benchmark.extra_info["switches_bg20_k4"] = table[(20.0, 4.0)][3]

@@ -1,0 +1,94 @@
+"""Fig. 12 benchmark — server power management comparison.
+
+Reduced scale: shorter simulations and fewer sweep points than the
+module defaults; the assertions check the paper's ordering and trends.
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import fig12_server_power
+
+
+def _by_gov(result, key_col=1):
+    out = {}
+    for row in result.rows:
+        out.setdefault(row[0], {})[row[key_col]] = row
+    return out
+
+
+def test_fig12a_utilization_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        fig12_server_power.run_utilization_sweep,
+        utilizations=(0.1, 0.3, 0.5),
+        duration_s=30.0,
+    )
+    show(result)
+    table = _by_gov(result)
+
+    for u in (10.0, 30.0, 50.0):
+        power = {gov: rows[u][2] for gov, rows in table.items()}
+        # Paper ordering at each load: EPRONS-Server lowest, then
+        # Rubik+, then Rubik; no-PM highest.
+        assert power["eprons-server"] <= power["rubik+"] + 0.05
+        assert power["rubik+"] <= power["rubik"] + 0.05
+        assert power["rubik"] < power["no-pm"]
+        # Model-based schemes beat the coarse feedback loop at mid/high
+        # load (paper: "except at very low loads").
+        if u >= 30.0:
+            assert power["eprons-server"] < power["timetrader"]
+        # Every governor still meets the SLA.
+        for gov, rows in table.items():
+            assert rows[u][4], f"{gov} missed SLA at {u}%"
+
+    # Power grows with utilization for every governor.
+    for gov, rows in table.items():
+        series = [rows[u][2] for u in (10.0, 30.0, 50.0)]
+        assert series == sorted(series)
+
+    benchmark.extra_info["cpu_w_at_30pct"] = {
+        gov: round(rows[30.0][2], 2) for gov, rows in table.items()
+    }
+
+
+def test_fig12b_constraint_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        fig12_server_power.run_constraint_sweep,
+        constraints_ms=(19.0, 25.0, 31.0, 40.0),
+        duration_s=30.0,
+    )
+    show(result)
+    table = _by_gov(result)
+
+    # EPRONS-Server's power decreases as the constraint loosens and is
+    # the lowest at every feasible constraint >= 19 ms (paper).
+    epr = [table["eprons-server"][c][2] for c in (19.0, 25.0, 31.0, 40.0)]
+    assert epr == sorted(epr, reverse=True)
+    for c in (19.0, 25.0, 31.0, 40.0):
+        power = {gov: rows[c][2] for gov, rows in table.items()}
+        assert power["eprons-server"] == min(power.values())
+
+    benchmark.extra_info["eprons_w_19ms"] = round(epr[0], 2)
+    benchmark.extra_info["eprons_w_40ms"] = round(epr[-1], 2)
+
+
+def test_fig12c_heatmap(benchmark):
+    result = run_once(
+        benchmark,
+        fig12_server_power.run_heatmap,
+        utilizations=(0.1, 0.3, 0.5),
+        constraints_ms=(20.0, 30.0, 40.0),
+        duration_s=25.0,
+    )
+    show(result)
+    table = {(row[0], row[1]): row[2] for row in result.rows}
+
+    # Power rises with utilization at a fixed constraint and falls as
+    # the constraint loosens at a fixed utilization.
+    for c in (20.0, 30.0, 40.0):
+        series = [table[(u, c)] for u in (10.0, 30.0, 50.0)]
+        assert series == sorted(series)
+    for u in (10.0, 30.0, 50.0):
+        series = [table[(u, c)] for c in (20.0, 30.0, 40.0)]
+        assert series == sorted(series, reverse=True)

@@ -1,0 +1,53 @@
+"""Fig. 13 benchmark — joint power across constraint x aggregation x
+background, including the "turn a switch on to save power" effect."""
+
+from conftest import run_once, show
+
+from repro.core import JointSimParams
+from repro.experiments import fig13_joint_power
+
+
+def test_fig13_joint_power(benchmark):
+    result = run_once(
+        benchmark,
+        fig13_joint_power.run,
+        backgrounds=(0.01, 0.2, 0.5),
+        constraints_ms=(19.0, 25.0, 31.0, 40.0),
+        params=JointSimParams(sim_cores=1, duration_s=10.0, warmup_s=2.0),
+    )
+    show(result)
+
+    rows = {(r[0], r[1], r[2]): r for r in result.rows}
+
+    def total(bg, c, scheme):
+        return rows[(bg, c, scheme)][3]
+
+    def sla(bg, c, scheme):
+        return rows[(bg, c, scheme)][7]
+
+    # (a) Light background: every aggregation level is present and
+    # deeper aggregation is cheaper; agg 3 wins.
+    for c in (25.0, 40.0):
+        totals = [total(1.0, c, f"aggregation-{l}") for l in (0, 1, 2, 3)]
+        assert totals == sorted(totals, reverse=True)
+
+    # Looser constraints cost less power (longer server slack).
+    assert total(1.0, 40.0, "aggregation-3") < total(1.0, 19.0, "aggregation-3")
+
+    # (b) Medium background: aggregation 3 violates the SLA at the
+    # tightest constraint while aggregation 2 holds it — turning
+    # switches ON is the feasible optimum (the paper's crossover).
+    assert not sla(20.0, 19.0, "aggregation-3")
+    assert sla(20.0, 19.0, "aggregation-2")
+
+    # (c) Heavy background: deep aggregations are not even routable.
+    present_50 = {r[2] for r in result.rows if r[0] == 50.0}
+    assert "aggregation-0" in present_50
+    assert "aggregation-3" not in present_50
+
+    # Every managed configuration beats no power management.
+    for bg in (1.0, 20.0, 50.0):
+        assert total(bg, 31.0, "aggregation-0") < total(bg, 31.0, "no-pm")
+
+    benchmark.extra_info["total_w_bg1_agg3_40ms"] = round(total(1.0, 40.0, "aggregation-3"))
+    benchmark.extra_info["total_w_bg1_nopm"] = round(total(1.0, 40.0, "no-pm"))

@@ -1,0 +1,26 @@
+"""Fig. 14 benchmark — the diurnal trace generator."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig14_trace
+
+
+def test_fig14_trace(benchmark):
+    result = run_once(benchmark, fig14_trace.run)
+    show(result)
+
+    search = result.column("search_load_pct")
+    background = result.column("background_pct")
+
+    # 24 hourly rows spanning the paper's ranges.
+    assert len(search) == 24
+    assert min(search) >= 20.0 - 1.0 and max(search) <= 100.0 + 1e-9
+    assert min(background) >= 10.0 - 1.0 and max(background) <= 60.0 + 1e-9
+    # Genuine diurnal swing: peak at least 3x the trough.
+    assert max(search) > 3 * min(search)
+    # Peak lands in the daytime hours (10:00-18:00).
+    peak_hour = result.column("hour")[search.index(max(search))]
+    assert 10 <= peak_hour <= 18
+
+    benchmark.extra_info["search_range_pct"] = [round(min(search)), round(max(search))]
+    benchmark.extra_info["background_range_pct"] = [round(min(background)), round(max(background))]

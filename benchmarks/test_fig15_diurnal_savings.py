@@ -1,0 +1,48 @@
+"""Fig. 15 benchmark — 24-hour power replay and headline savings.
+
+Paper headline: EPRONS saves up to 31.25 % (peak) and 25 % (average) of
+the total power budget; TimeTrader averages 8 % with zero DCN saving;
+EPRONS's total saving is more than 2x TimeTrader's.
+"""
+
+from conftest import run_once, show
+
+from repro.core import JointSimParams
+from repro.experiments import fig15_diurnal
+
+
+def test_fig15_diurnal_savings(benchmark):
+    series, summary = run_once(
+        benchmark,
+        fig15_diurnal.run,
+        epoch_minutes=30,
+        bg_buckets=(0.1, 0.3, 0.5),
+        util_grid=(0.05, 0.2, 0.35, 0.5),
+        params=JointSimParams(sim_cores=1, duration_s=6.0, warmup_s=1.0),
+        report_every_epochs=4,
+    )
+    show((series, summary))
+
+    rows = {row[0]: row for row in summary.rows}
+    eprons, timetrader = rows["eprons"], rows["timetrader"]
+
+    # EPRONS total saving is more than 2x TimeTrader's (paper Fig. 15b).
+    assert eprons[1] > 2 * timetrader[1]
+    # EPRONS lands in the paper's savings regime (25% avg / 31.25% peak).
+    assert 12.0 < eprons[1] < 35.0
+    assert 18.0 < eprons[2] < 40.0
+    assert eprons[2] > eprons[1]
+    # Only EPRONS saves network power; TimeTrader leaves the DCN on.
+    assert eprons[3] > 10.0
+    assert abs(timetrader[3]) < 1e-6
+    # TimeTrader still saves meaningful *server* power (paper: ~8%).
+    assert timetrader[1] > 3.0
+
+    # The time series: every scheme's total stays below no-PM, and the
+    # EPRONS network power varies through the day (diurnal DCN power).
+    eprons_net = series.column("eprons_network_w")
+    assert max(eprons_net) > min(eprons_net)
+
+    benchmark.extra_info["eprons_avg_saving_pct"] = round(eprons[1], 1)
+    benchmark.extra_info["eprons_peak_saving_pct"] = round(eprons[2], 1)
+    benchmark.extra_info["timetrader_avg_saving_pct"] = round(timetrader[1], 1)

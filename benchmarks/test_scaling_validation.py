@@ -1,0 +1,68 @@
+"""Scaling study (Section IV-B motivation) and packet-level validation."""
+
+from conftest import run_once, show
+
+from repro.experiments import scaling, validation
+from repro.experiments import churn as churn_mod
+
+
+def test_solver_scaling(benchmark):
+    result = run_once(
+        benchmark,
+        scaling.run,
+        heuristic_cases=((4, 50), (4, 200), (6, 400)),
+        milp_cases=((4, 10), (4, 30)),
+        milp_time_limit_s=120.0,
+    )
+    show(result)
+    rows = list(result.rows)
+    heuristic = [r for r in rows if r[0] == "heuristic"]
+    milp = [r for r in rows if r[0] == "milp"]
+
+    # The heuristic stays sub-second even at 400 flows on k=6, while
+    # the MILP's runtime grows quickly with the flow count — the
+    # paper's deployment argument.
+    assert max(r[3] for r in heuristic) < 1.0
+    assert milp[-1][3] > 3 * milp[0][3] or milp[-1][3] > 1.0
+    # Same instance (k=4, comparable flows): heuristic is faster.
+    assert heuristic[0][3] < milp[0][3]
+
+    benchmark.extra_info["heuristic_max_s"] = round(max(r[3] for r in heuristic), 3)
+    benchmark.extra_info["milp_40flow_s"] = round(milp[-1][3], 2)
+
+
+def test_packet_level_validation(benchmark):
+    result = run_once(
+        benchmark, validation.run, utilizations=(0.1, 0.5, 0.85), duration_s=4.0
+    )
+    show(result)
+    packet_means = result.column("packet_mean_us")
+    model_means = result.column("model_mean_us")
+
+    # The knee emerges from packet-level FIFO queues...
+    assert packet_means[-1] > 4 * packet_means[0]
+    # ...and the flow-level model tracks it within its burstiness
+    # calibration (same order of magnitude at every load).
+    for packet, model in zip(packet_means, model_means):
+        assert model / 6 < packet < model * 6
+
+    benchmark.extra_info["packet_mean_us"] = [round(m) for m in packet_means]
+    benchmark.extra_info["model_mean_us"] = [round(m) for m in model_means]
+
+
+def test_controller_churn(benchmark):
+    result = run_once(
+        benchmark, churn_mod.run, scale_factors=(1.0, 4.0), n_epochs=36
+    )
+    show(result)
+    rows = {r[0]: r for r in result.rows}
+
+    # Every epoch is eventually configured (fallback + best effort).
+    for k, row in rows.items():
+        assert row[1] + row[7] == 36  # epochs + deferred
+        assert row[7] <= 2
+    # Larger K keeps more switches on through the day.
+    assert rows[4.0][2] >= rows[1.0][2]
+
+    benchmark.extra_info["avg_switches_k1"] = round(rows[1.0][2], 1)
+    benchmark.extra_info["avg_switches_k4"] = round(rows[4.0][2], 1)

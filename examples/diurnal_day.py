@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""A day in the data center: EPRONS vs TimeTrader vs no management.
+
+Replays a 24-hour diurnal trace (Fig. 14 shape) re-optimizing every
+epoch, then prints the Fig. 15 outputs: the total-power time series,
+which aggregation policy EPRONS chose through the day, and the
+average/peak savings of each scheme.
+
+Run:  python examples/diurnal_day.py          (~1 minute)
+"""
+
+from collections import Counter
+
+from repro.core import DiurnalRunner, JointSimParams
+from repro.topology import FatTree
+from repro.workloads import SearchWorkload, synth_diurnal_trace
+
+
+def main() -> None:
+    topology = FatTree(4)
+    workload = SearchWorkload(topology)
+    trace = synth_diurnal_trace(seed_or_rng=4)
+    runner = DiurnalRunner(
+        workload,
+        peak_utilization=0.5,
+        bg_buckets=(0.1, 0.3, 0.5),
+        util_grid=(0.05, 0.2, 0.35, 0.5),
+        params=JointSimParams(sim_cores=1, duration_s=8.0, warmup_s=1.5),
+    )
+    day = runner.run(trace, epoch_minutes=20)
+
+    print("hour  load  bg   no-pm W  timetrader W  eprons W  eprons choice")
+    for i in range(0, len(day.minutes), 9):  # every 3 hours
+        minute = int(day.minutes[i])
+        load, bg = trace.at(minute)
+        print(f"{minute // 60:4d}  {load:4.0%}  {bg:3.0%}  "
+              f"{day.total_watts['no-pm'][i]:7.0f}  "
+              f"{day.total_watts['timetrader'][i]:12.0f}  "
+              f"{day.total_watts['eprons'][i]:8.0f}  "
+              f"{day.chosen_candidate['eprons'][i]}")
+
+    print("\nEPRONS aggregation choices over the day:",
+          dict(Counter(day.chosen_candidate["eprons"])))
+    print()
+    for scheme in ("eprons", "timetrader"):
+        print(f"{scheme:>11}: average saving {day.average_saving(scheme):6.1%}  "
+              f"peak {day.peak_saving(scheme):6.1%}  "
+              f"network {day.component_saving(scheme, 'network'):6.1%}  "
+              f"server {day.component_saving(scheme, 'server'):6.1%}")
+    print("\nPaper reference: EPRONS 25% average / 31.25% peak; "
+          "TimeTrader 8% average with no DCN saving.")
+
+
+if __name__ == "__main__":
+    main()

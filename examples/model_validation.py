@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Why you can trust the network model: three independent views.
+
+The latency numbers behind every figure come from the calibrated
+flow-level knee model.  This example cross-checks it two ways:
+
+1. **packet level** — a from-first-principles packet simulator (FIFO
+   link queues, bursty elephants) on a bottleneck link: the knee must
+   *emerge*;
+2. **analytic** — grid-convolved per-hop delay distributions: tail
+   quantiles without Monte-Carlo noise.
+
+Run:  python examples/model_validation.py
+"""
+
+import numpy as np
+
+from repro.experiments.validation import run as run_packet_validation
+from repro.netsim import LinkLatencyModel, path_quantile, sample_path_delays
+from repro.units import to_us
+
+
+def main() -> None:
+    print("1. Packet-level simulation vs flow-level model (bottleneck link)")
+    print(run_packet_validation(utilizations=(0.1, 0.5, 0.85), duration_s=4.0))
+
+    print("\n2. Analytic tail quantiles vs Monte-Carlo sampling (6-hop query path)")
+    model = LinkLatencyModel()
+    print(f"{'util':>5}  {'p95 analytic':>13}  {'p95 sampled':>12}  "
+          f"{'p99 analytic':>13}  {'p99 sampled':>12}")
+    for rho in (0.2, 0.5, 0.8):
+        utils = [rho] * 6
+        samples = sample_path_delays(model, utils, 100_000, seed_or_rng=1)
+        p95a = path_quantile(model, utils, 0.95)
+        p99a = path_quantile(model, utils, 0.99)
+        print(f"{rho:5.1f}  {to_us(p95a):10.0f} us  {to_us(np.quantile(samples, 0.95)):9.0f} us"
+              f"  {to_us(p99a):10.0f} us  {to_us(np.quantile(samples, 0.99)):9.0f} us")
+
+    print("\nThe knee emerges from packet-level FIFO queues with no knee "
+          "model in sight, and the analytic quantiles match sampling to "
+          "within grid resolution.")
+
+
+if __name__ == "__main__":
+    main()

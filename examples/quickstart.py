@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: the EPRONS pipeline in ~60 lines.
+
+Builds the paper's 4-ary fat-tree, offers search + background traffic,
+consolidates it onto a minimal subnet (EPRONS-Network), measures the
+resulting network slack, and runs EPRONS-Server DVFS on a server fed by
+that network — printing the power bill at each step.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.consolidation import GreedyConsolidator, validate_result
+from repro.control import LatencyMonitor
+from repro.core import JointSimParams, evaluate_operating_point
+from repro.netsim import NetworkModel
+from repro.policies import EpronsServerGovernor, MaxFrequencyGovernor
+from repro.server import XEON_LADDER
+from repro.topology import FatTree
+from repro.units import to_ms
+from repro.workloads import SearchWorkload
+
+
+def main() -> None:
+    # 1. The platform: a 4-ary fat-tree (16 servers, 20 switches).
+    topology = FatTree(4)
+    workload = SearchWorkload(topology)  # 1 aggregator + 15 ISNs, 30 ms SLA
+    print(f"topology: {topology.n_hosts} hosts, {topology.n_switches} switches")
+
+    # 2. Offered traffic: search queries + 20% background elephants.
+    traffic = workload.traffic(background_utilization=0.2, seed_or_rng=1)
+    print(f"traffic: {len(traffic)} flows "
+          f"({len(traffic.latency_sensitive)} latency-sensitive)")
+
+    # 3. EPRONS-Network: consolidate onto a minimal subnet at K=2.
+    consolidation = GreedyConsolidator(topology).consolidate(traffic, scale_factor=2.0)
+    validate_result(topology, traffic, consolidation)
+    print(f"consolidated: {consolidation.n_switches_on}/{topology.n_switches} "
+          f"switches on, network power {consolidation.objective_watts:.0f} W")
+
+    # 4. The network slack the servers will harvest.
+    network = NetworkModel(topology, traffic, consolidation.routing)
+    monitor = LatencyMonitor(network)
+    print(f"request network latency: mean {to_ms(monitor.mean_request_latency()):.2f} ms, "
+          f"p95 {to_ms(monitor.request_tail_latency(95.0)):.2f} ms "
+          f"(budget {to_ms(workload.network_budget_s):.0f} ms)")
+
+    # 5. Price the whole data center under EPRONS-Server vs no PM.
+    params = JointSimParams(sim_cores=2, duration_s=10.0, warmup_s=2.0)
+    for name, factory in [
+        ("no power mgmt", lambda: MaxFrequencyGovernor(XEON_LADDER)),
+        ("EPRONS", lambda: EpronsServerGovernor(workload.service_model, XEON_LADDER)),
+    ]:
+        ev = evaluate_operating_point(
+            workload, traffic, consolidation, 0.3, factory, params=params
+        )
+        print(f"{name:>14}: total {ev.total_watts:6.0f} W "
+              f"(network {ev.breakdown.network_watts:.0f} W, "
+              f"servers {ev.breakdown.server_watts:.0f} W) "
+              f"p95 {to_ms(ev.query_p95_s):5.1f} ms "
+              f"SLA {'met' if ev.sla_met else 'MISSED'}")
+
+
+if __name__ == "__main__":
+    main()

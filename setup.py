@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The environment has no `wheel` package, so PEP 517/660 editable installs
+(`pip install -e .`) cannot build editable wheels. `python setup.py
+develop` (or this shim via pip's legacy path) installs the package in
+editable mode without wheel. All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

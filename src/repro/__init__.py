@@ -1,0 +1,37 @@
+"""EPRONS — joint server and network energy saving for latency-sensitive
+data-center applications.
+
+Reproduction of Zhou et al., *Joint Server and Network Energy Saving in
+Data Centers for Latency-Sensitive Applications*, IPDPS 2018.
+
+Subpackages
+-----------
+``repro.topology``
+    Fat-tree topologies, active subnets, aggregation policies (Fig. 9).
+``repro.flows``
+    Flow model, 90th-percentile demand prediction, traffic sets.
+``repro.consolidation``
+    EPRONS-Network: the MILP of Eq. 2-9 and the greedy heuristic.
+``repro.netsim``
+    Utilization-latency model with the Fig-1 knee; per-flow tails.
+``repro.server``
+    Service-time/work distributions, DVFS ladder, violation probability.
+``repro.policies``
+    DVFS governors: EPRONS-Server, Rubik, Rubik+, TimeTrader, no-PM.
+``repro.sim``
+    Discrete-event partition-aggregation cluster simulator.
+``repro.power``
+    Power models (Section V-A constants) and energy accounting.
+``repro.control``
+    SDN-controller-style monitoring/optimization loop.
+``repro.workloads``
+    Search workload and diurnal (Fig. 14) trace generators.
+``repro.core``
+    The joint optimizer: scale-factor-K sweep over network + servers.
+"""
+
+__version__ = "1.0.0"
+
+from . import errors, rng, stats, units
+
+__all__ = ["errors", "rng", "stats", "units", "__version__"]

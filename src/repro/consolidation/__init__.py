@@ -1,0 +1,17 @@
+"""Latency-aware traffic consolidation (EPRONS-Network)."""
+
+from .base import ConsolidationResult, Consolidator, link_reservation, validate_result
+from .elastictree import ElasticTreeConsolidator
+from .heuristic import GreedyConsolidator, route_on_subnet
+from .milp import MilpConsolidator
+
+__all__ = [
+    "ConsolidationResult",
+    "Consolidator",
+    "validate_result",
+    "link_reservation",
+    "GreedyConsolidator",
+    "ElasticTreeConsolidator",
+    "route_on_subnet",
+    "MilpConsolidator",
+]

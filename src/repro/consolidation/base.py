@@ -1,0 +1,156 @@
+"""Shared types for latency-aware traffic consolidation (EPRONS-Network).
+
+A *consolidator* takes (topology, traffic, scale factor K) and produces
+a :class:`ConsolidationResult`: the routing for every flow plus the
+minimal :class:`~repro.topology.graph.ActiveSubnet` that carries it.
+Two implementations exist — the exact MILP of the paper's Eq. 2–9
+(:mod:`repro.consolidation.milp`) and the greedy bin-packing heuristic
+used for deployment-scale instances
+(:mod:`repro.consolidation.heuristic`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..flows.traffic import TrafficSet
+from ..netsim.network import Routing
+from ..power.models import LinkPowerModel, SwitchPowerModel
+from ..topology.graph import ActiveSubnet, Topology
+
+__all__ = ["ConsolidationResult", "Consolidator", "validate_result", "link_reservation"]
+
+
+def link_reservation(flow, scale_factor: float, topology: Topology, u: str, v: str) -> float:
+    """Bandwidth a flow reserves on the directed link ``u → v``.
+
+    The scale factor ``K`` inflates latency-sensitive reservations on
+    *switch-to-switch* links only.  A host's access link is traversed by
+    every path between that host and the rest of the network — there is
+    no alternative path for K to steer the flow onto, so scaling the
+    reservation there would only manufacture infeasibility (e.g. the 15
+    reply flows that must all share the aggregator's single downlink).
+    """
+    if topology.is_host(u) or topology.is_host(v):
+        return flow.demand_bps
+    return flow.reserved_bps(scale_factor)
+
+
+@dataclass(frozen=True)
+class ConsolidationResult:
+    """Output of one consolidation run.
+
+    Attributes
+    ----------
+    routing:
+        Node path for every offered flow.
+    subnet:
+        The devices left powered on.
+    scale_factor:
+        The K the instance was solved at.
+    objective_watts:
+        Network-power objective value (switches + links).
+    solver:
+        Which implementation produced the result (``"milp"`` /
+        ``"heuristic"``).
+    """
+
+    routing: Routing
+    subnet: ActiveSubnet
+    scale_factor: float
+    objective_watts: float
+    solver: str
+
+    @property
+    def n_switches_on(self) -> int:
+        return self.subnet.n_switches_on
+
+    @property
+    def n_links_on(self) -> int:
+        return self.subnet.n_links_on
+
+
+class Consolidator(ABC):
+    """Interface shared by the MILP and heuristic consolidators."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        safety_margin_bps: float = 50e6,
+        switch_model: SwitchPowerModel | None = None,
+        link_model: LinkPowerModel | None = None,
+    ):
+        if safety_margin_bps < 0:
+            raise ConfigurationError("safety margin must be non-negative")
+        self.topology = topology
+        self.safety_margin_bps = safety_margin_bps
+        self.switch_model = switch_model or SwitchPowerModel()
+        self.link_model = link_model or LinkPowerModel()
+
+    @abstractmethod
+    def consolidate(self, traffic: TrafficSet, scale_factor: float = 1.0) -> ConsolidationResult:
+        """Route ``traffic`` at scale factor ``K`` onto a minimal subnet.
+
+        Raises :class:`~repro.errors.InfeasibleError` when the scaled
+        reservations cannot be packed.
+        """
+
+    def _network_power(self, subnet: ActiveSubnet) -> float:
+        """Objective value: power of switches + links in ``subnet``."""
+        sw, ln = subnet.network_power(self.switch_model, self.link_model)
+        return sw + ln
+
+
+def validate_result(
+    topology: Topology,
+    traffic: TrafficSet,
+    result: ConsolidationResult,
+    check_reservations: bool = True,
+) -> None:
+    """Assert a consolidation result is physically valid.
+
+    Checks every flow is routed src→dst over *on* devices and that no
+    directed link's **actual** demand exceeds its capacity.  With
+    ``check_reservations`` (the default) the stronger K-scaled
+    reservation bound is checked too — disable it for results produced
+    with the heuristic's ``best_effort_scale`` fallback, where
+    individual flows may legitimately carry a degraded scale factor.
+    Raises :class:`~repro.errors.ConfigurationError` on violation; used
+    by tests and as a cheap post-solve sanity check.
+    """
+    reserved: dict[tuple[str, str], float] = {}
+    demand_on: dict[tuple[str, str], float] = {}
+    for flow in traffic:
+        path = result.routing.path(flow.flow_id)
+        if path[0] != flow.src or path[-1] != flow.dst:
+            raise ConfigurationError(f"flow {flow.flow_id!r} misrouted: {path}")
+        for u, v in zip(path[:-1], path[1:]):
+            if not topology.has_link(u, v):
+                raise ConfigurationError(f"flow {flow.flow_id!r} uses missing link ({u}, {v})")
+            if not result.subnet.is_link_on(u, v):
+                raise ConfigurationError(f"flow {flow.flow_id!r} uses powered-off link ({u}, {v})")
+            for end in (u, v):
+                if topology.is_switch(end) and not result.subnet.is_switch_on(end):
+                    raise ConfigurationError(
+                        f"flow {flow.flow_id!r} traverses powered-off switch {end!r}"
+                    )
+            key = (u, v)
+            demand_on[key] = demand_on.get(key, 0.0) + flow.demand_bps
+            reserved[key] = reserved.get(key, 0.0) + link_reservation(
+                flow, result.scale_factor, topology, u, v
+            )
+    for (u, v), demand in demand_on.items():
+        cap = topology.capacity(u, v)
+        if demand > cap * (1.0 + 1e-9):
+            raise ConfigurationError(
+                f"directed link ({u}, {v}) overloaded: {demand:.3e} > {cap:.3e} bit/s"
+            )
+    if check_reservations:
+        for (u, v), demand in reserved.items():
+            cap = topology.capacity(u, v)
+            if demand > cap * (1.0 + 1e-9):
+                raise ConfigurationError(
+                    f"directed link ({u}, {v}) over-reserved: {demand:.3e} > {cap:.3e} bit/s"
+                )

@@ -1,0 +1,38 @@
+"""ElasticTree-style baseline: bandwidth-only consolidation.
+
+The prior traffic-consolidation systems the paper positions against
+([2]–[5]) "only consider flow's bandwidth demand and ignore the network
+latency constraints": they pack flows as tightly as capacity allows,
+with no latency-aware headroom.  This baseline is the greedy packer
+pinned at scale factor K=1 — any K passed by a caller is ignored — so
+experiments can quantify what EPRONS-Network's K buys in query tail
+latency for a given switch budget.
+"""
+
+from __future__ import annotations
+
+from ..flows.traffic import TrafficSet
+from .base import ConsolidationResult
+from .heuristic import GreedyConsolidator
+
+__all__ = ["ElasticTreeConsolidator"]
+
+
+class ElasticTreeConsolidator(GreedyConsolidator):
+    """Bandwidth-only greedy consolidation (ignores the scale factor)."""
+
+    def consolidate(
+        self,
+        traffic: TrafficSet,
+        scale_factor: float = 1.0,
+        best_effort_scale: bool = False,
+        max_restarts: int = 8,
+    ) -> ConsolidationResult:
+        """Pack at K=1 regardless of the requested ``scale_factor``.
+
+        The returned result reports ``scale_factor=1.0`` — there is no
+        latency-aware reservation to honour.
+        """
+        return super().consolidate(
+            traffic, 1.0, best_effort_scale=best_effort_scale, max_restarts=max_restarts
+        )

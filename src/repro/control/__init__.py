@@ -1,0 +1,27 @@
+"""SDN control plane: monitoring, optimization loop, reconfiguration."""
+
+from .controller import SWITCH_POWER_ON_S, EpochOutcome, SdnController
+from .kcontrol import ScaleFactorController
+from .latency_monitor import LatencyMonitor
+from .monitor import TrafficMonitor
+from .rules import (
+    DeviceCommands,
+    ReconfigurationPlan,
+    RuleUpdate,
+    diff_routings,
+    diff_subnets,
+)
+
+__all__ = [
+    "TrafficMonitor",
+    "LatencyMonitor",
+    "SdnController",
+    "EpochOutcome",
+    "ScaleFactorController",
+    "SWITCH_POWER_ON_S",
+    "RuleUpdate",
+    "DeviceCommands",
+    "ReconfigurationPlan",
+    "diff_routings",
+    "diff_subnets",
+]

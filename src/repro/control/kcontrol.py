@@ -1,0 +1,67 @@
+"""Closed-loop scale-factor control (Section II's "dynamically adjusts
+the scale factor K").
+
+The paper's consolidation does not use a fixed K: the controller
+measures the query network latency each epoch and moves K to keep the
+tail near — but inside — the network budget:
+
+* tail above the budget → raise K (reserve more headroom, spreading
+  queries off hot links, activating switches if needed);
+* tail comfortably below the budget → lower K (let the subnet shrink).
+
+A dead band between the two thresholds prevents oscillation, and K is
+confined to ``[1, k_max]`` (Eq. 3's box constraint).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = ["ScaleFactorController"]
+
+
+class ScaleFactorController:
+    """Hysteresis controller for the consolidation scale factor."""
+
+    def __init__(
+        self,
+        network_budget_s: float,
+        k_initial: float = 1.0,
+        k_max: float = 4.0,
+        upper_fraction: float = 0.9,
+        lower_fraction: float = 0.5,
+        step: float = 1.0,
+    ):
+        if network_budget_s <= 0:
+            raise ConfigurationError("network budget must be positive")
+        if not 1.0 <= k_initial <= k_max:
+            raise ConfigurationError(f"need 1 <= k_initial <= k_max, got {k_initial}, {k_max}")
+        if not 0.0 < lower_fraction < upper_fraction <= 1.0:
+            raise ConfigurationError(
+                f"need 0 < lower < upper <= 1, got ({lower_fraction}, {upper_fraction})"
+            )
+        if step <= 0:
+            raise ConfigurationError("step must be positive")
+        self.network_budget_s = network_budget_s
+        self.k = float(k_initial)
+        self.k_max = float(k_max)
+        self.upper_fraction = upper_fraction
+        self.lower_fraction = lower_fraction
+        self.step = step
+        self.adjustments = 0
+
+    def update(self, measured_tail_s: float) -> float:
+        """Fold one epoch's measured query tail latency; returns the K
+        to use for the next epoch."""
+        if measured_tail_s < 0:
+            raise ConfigurationError("measured tail must be non-negative")
+        if measured_tail_s > self.upper_fraction * self.network_budget_s:
+            new_k = min(self.k + self.step, self.k_max)
+        elif measured_tail_s < self.lower_fraction * self.network_budget_s:
+            new_k = max(self.k - self.step, 1.0)
+        else:
+            new_k = self.k
+        if new_k != self.k:
+            self.adjustments += 1
+            self.k = new_k
+        return self.k

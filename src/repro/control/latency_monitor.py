@@ -1,0 +1,130 @@
+"""Per-request network latency / slack monitoring (Fig. 7's "Latency
+monitor" box on every server).
+
+Each server measures the network latency its incoming requests
+experienced and hands EPRONS-Server the *request slack* — network
+budget minus measured request latency (Section IV-C: "To be more
+conservative, we only use the request slack").
+
+In this reproduction the monitor wraps the flow-level
+:class:`~repro.netsim.network.NetworkModel`: it builds per-ISN latency
+samplers for the simulator and a pooled mixture sampler used when one
+representative server stands in for the statistically identical ISNs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..flows.traffic import TrafficSet
+from ..netsim.network import NetworkModel
+from ..rng import ensure_rng
+
+__all__ = ["LatencyMonitor"]
+
+
+class LatencyMonitor:
+    """Builds per-request network-latency samplers from a network model."""
+
+    def __init__(self, network_model: NetworkModel, pool_size: int = 4096):
+        if pool_size <= 0:
+            raise ConfigurationError("pool size must be positive")
+        self.network_model = network_model
+        self.pool_size = pool_size
+
+    def request_flow_ids(self) -> list[str]:
+        """Latency-sensitive *request* flows (aggregator → ISN)."""
+        ids = [
+            f.flow_id
+            for f in self.network_model.traffic.latency_sensitive
+            if f.flow_id.startswith("req:")
+        ]
+        if ids:
+            return ids
+        # Fall back to all latency-sensitive flows for custom traffic.
+        return [f.flow_id for f in self.network_model.traffic.latency_sensitive]
+
+    def flow_sampler(self, flow_id: str):
+        """A ``sampler(n, rng)`` for one flow's network latency."""
+
+        def sample(n: int, rng) -> np.ndarray:
+            return self.network_model.sample_flow_latency(flow_id, n, ensure_rng(rng))
+
+        return sample
+
+    def pooled_sampler(self, seed_or_rng=None):
+        """A ``sampler(n, rng)`` drawing from the mixture over all
+        request flows.
+
+        Used when a single simulated server represents the ISN
+        population: a request's network latency is that of a uniformly
+        random ISN's request path.  A pre-drawn pool keeps the DES's
+        per-chunk cost flat.
+        """
+        rng = ensure_rng(seed_or_rng)
+        ids = self.request_flow_ids()
+        if not ids:
+            raise ConfigurationError("no latency-sensitive flows to sample")
+        per_flow = max(1, self.pool_size // len(ids))
+        pool = np.concatenate(
+            [self.network_model.sample_flow_latency(fid, per_flow, rng) for fid in ids]
+        )
+
+        def sample(n: int, sample_rng) -> np.ndarray:
+            r = ensure_rng(sample_rng)
+            return pool[r.integers(0, len(pool), size=n)]
+
+        return sample
+
+    def reply_flow_ids(self) -> list[str]:
+        """Latency-sensitive *reply* flows (ISN → aggregator)."""
+        return [
+            f.flow_id
+            for f in self.network_model.traffic.latency_sensitive
+            if f.flow_id.startswith("rep:")
+        ]
+
+    def pooled_reply_sampler(self, seed_or_rng=None):
+        """A ``sampler(n, rng)`` over the reply-path latency mixture.
+
+        Feed it to the runner's ``reply_latency_sampler`` to account for
+        the reply leg in the end-to-end SLA (the governor still only
+        sees request slack).  Raises when the traffic has no reply
+        flows.
+        """
+        rng = ensure_rng(seed_or_rng)
+        ids = self.reply_flow_ids()
+        if not ids:
+            raise ConfigurationError("traffic has no reply flows to sample")
+        per_flow = max(1, self.pool_size // len(ids))
+        pool = np.concatenate(
+            [self.network_model.sample_flow_latency(fid, per_flow, rng) for fid in ids]
+        )
+
+        def sample(n: int, sample_rng) -> np.ndarray:
+            r = ensure_rng(sample_rng)
+            return pool[r.integers(0, len(pool), size=n)]
+
+        return sample
+
+    def mean_request_latency(self) -> float:
+        """Average request-path latency over all request flows."""
+        ids = self.request_flow_ids()
+        return float(
+            np.mean([self.network_model.flow_mean_latency(fid) for fid in ids])
+        )
+
+    def request_tail_latency(self, q: float = 95.0, n: int = 2000, seed_or_rng=None) -> float:
+        """The q-th percentile of pooled request-path latency."""
+        rng = ensure_rng(seed_or_rng)
+        ids = self.request_flow_ids()
+        samples = np.concatenate(
+            [self.network_model.sample_flow_latency(fid, n, rng) for fid in ids]
+        )
+        return float(np.percentile(samples, q))
+
+    @staticmethod
+    def from_traffic(topology, traffic: TrafficSet, routing, link_model=None) -> "LatencyMonitor":
+        """Convenience constructor from raw routing components."""
+        return LatencyMonitor(NetworkModel(topology, traffic, routing, link_model))

@@ -1,0 +1,85 @@
+"""Traffic statistics monitoring (the controller's 2-second poll).
+
+The POX controller of the paper "fetches flow statistics and link
+utilization every 2 s with an openflow message" and predicts each
+flow's next-epoch demand as the 90th percentile of the last epoch
+(Section II).  :class:`TrafficMonitor` is that component: it ingests
+per-flow rate observations and produces the *predicted* traffic set the
+optimizer consolidates.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..flows.prediction import PercentilePredictor
+from ..flows.traffic import TrafficSet
+
+__all__ = ["TrafficMonitor"]
+
+
+class TrafficMonitor:
+    """Per-flow rate observation and demand prediction.
+
+    Parameters
+    ----------
+    q:
+        Prediction percentile (90 per the paper).
+    window:
+        Samples per epoch: with a 2-s poll and a 10-min optimization
+        period, one epoch holds 300 samples.
+    """
+
+    POLL_PERIOD_S = 2.0
+
+    def __init__(self, q: float = 90.0, window: int = 300):
+        self.q = q
+        self.window = window
+        self._predictors: dict[str, PercentilePredictor] = {}
+
+    def observe(self, flow_id: str, rate_bps: float) -> None:
+        """Record one polled rate sample for a flow."""
+        predictor = self._predictors.get(flow_id)
+        if predictor is None:
+            predictor = PercentilePredictor(q=self.q, window=self.window)
+            self._predictors[flow_id] = predictor
+        predictor.observe(rate_bps)
+
+    def observe_epoch(self, rates_by_flow: dict[str, list[float]]) -> None:
+        """Record a whole epoch of samples at once."""
+        for fid, rates in rates_by_flow.items():
+            for r in rates:
+                self.observe(fid, r)
+
+    def n_tracked_flows(self) -> int:
+        return len(self._predictors)
+
+    def has_prediction(self, flow_id: str) -> bool:
+        p = self._predictors.get(flow_id)
+        return p is not None and p.n_samples > 0
+
+    def predicted_demand(self, flow_id: str) -> float:
+        """Predicted next-epoch demand (bit/s) for one flow."""
+        p = self._predictors.get(flow_id)
+        if p is None or p.n_samples == 0:
+            raise ConfigurationError(f"no observations for flow {flow_id!r}")
+        return p.predict()
+
+    def predicted_traffic(self, base: TrafficSet) -> TrafficSet:
+        """The base traffic set with demands replaced by predictions.
+
+        Flows never observed keep their configured demand (a new flow's
+        first epoch uses its admission-time estimate, as a real
+        controller must).
+        """
+        out = TrafficSet()
+        for flow in base:
+            if self.has_prediction(flow.flow_id):
+                predicted = max(self.predicted_demand(flow.flow_id), 1.0)
+                out.add(flow.with_demand(predicted))
+            else:
+                out.add(flow)
+        return out
+
+    def forget(self, flow_id: str) -> None:
+        """Drop a departed flow's history."""
+        self._predictors.pop(flow_id, None)

@@ -1,0 +1,25 @@
+"""EPRONS joint optimization: operating-point pricing and day replay."""
+
+from .eprons import (
+    SCHEMES,
+    Candidate,
+    DiurnalResult,
+    DiurnalRunner,
+    EpronsDatacenter,
+)
+from .joint import JointEvaluation, JointSimParams, evaluate_operating_point
+from .profiles import DEFAULT_UTIL_GRID, PowerProfile, ProfileTable
+
+__all__ = [
+    "EpronsDatacenter",
+    "Candidate",
+    "DiurnalRunner",
+    "DiurnalResult",
+    "SCHEMES",
+    "JointEvaluation",
+    "JointSimParams",
+    "evaluate_operating_point",
+    "PowerProfile",
+    "ProfileTable",
+    "DEFAULT_UTIL_GRID",
+]

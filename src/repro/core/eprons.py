@@ -1,0 +1,353 @@
+"""EPRONS — the joint optimizer facade (Section IV).
+
+Two entry points:
+
+* :class:`EpronsDatacenter` — price every candidate consolidation
+  (aggregation policies and/or heuristic K values) with a full DES run
+  and pick the feasible minimum (the Fig. 13 computation, including the
+  "deliberately turn a switch on" effect: a bigger subnet wins whenever
+  the extra network slack saves more CPU power than the switch costs);
+* :class:`DiurnalRunner` — replay a 24-hour trace (Fig. 15) comparing
+  EPRONS against TimeTrader and no-power-management, re-optimizing
+  every epoch and pricing servers via interpolated
+  :class:`~repro.core.profiles.PowerProfile` tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..consolidation.base import ConsolidationResult
+from ..consolidation.heuristic import GreedyConsolidator, route_on_subnet
+from ..errors import ConfigurationError, InfeasibleError
+from ..policies.eprons_server import EpronsServerGovernor
+from ..policies.maxfreq import MaxFrequencyGovernor
+from ..policies.timetrader import TimeTraderGovernor
+from ..power.meter import PowerBreakdown
+from ..power.models import LinkPowerModel, SwitchPowerModel
+from ..server.dvfs import XEON_LADDER
+from ..topology.aggregation import AGGREGATION_LEVELS, aggregation_policy
+from ..workloads.diurnal import DiurnalTrace
+from ..workloads.search import SearchWorkload
+from .joint import JointEvaluation, JointSimParams, evaluate_operating_point
+from .profiles import DEFAULT_UTIL_GRID, PowerProfile, ProfileTable
+
+__all__ = ["Candidate", "EpronsDatacenter", "DiurnalRunner", "DiurnalResult", "SCHEMES"]
+
+SCHEMES = ("eprons", "timetrader", "no-pm")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One consolidation candidate in the joint sweep."""
+
+    name: str
+    consolidation: ConsolidationResult
+    traffic: object
+
+
+class EpronsDatacenter:
+    """Joint optimization over consolidation candidates at one load.
+
+    Parameters
+    ----------
+    workload:
+        The search deployment (SLA, topology, service model).
+    levels:
+        Aggregation policies to consider.
+    scale_factors:
+        Heuristic-consolidation K values to consider (in addition to the
+        fixed policies); ``()`` to sweep policies only.
+    """
+
+    def __init__(
+        self,
+        workload: SearchWorkload,
+        levels=AGGREGATION_LEVELS,
+        scale_factors=(),
+        params: JointSimParams | None = None,
+        switch_model: SwitchPowerModel | None = None,
+        link_model: LinkPowerModel | None = None,
+        traffic_seed: int = 1,
+    ):
+        self.workload = workload
+        self.levels = tuple(levels)
+        self.scale_factors = tuple(scale_factors)
+        if not self.levels and not self.scale_factors:
+            raise ConfigurationError("need at least one candidate (level or K)")
+        self.params = params or JointSimParams()
+        self.switch_model = switch_model or SwitchPowerModel()
+        self.link_model = link_model or LinkPowerModel()
+        self.traffic_seed = traffic_seed
+
+    def default_governor_factory(self):
+        return lambda: EpronsServerGovernor(
+            self.workload.service_model, XEON_LADDER
+        )
+
+    def candidates(self, background_utilization: float) -> list[Candidate]:
+        """All feasible consolidation candidates at this traffic level.
+
+        Infeasible aggregation policies are silently skipped — that is
+        the Fig. 13 effect where aggregation 3 "cannot support" tight
+        constraints / heavy background.
+        """
+        traffic = self.workload.traffic(background_utilization, seed_or_rng=self.traffic_seed)
+        out: list[Candidate] = []
+        for level in self.levels:
+            subnet = aggregation_policy(self.workload.topology, level)
+            try:
+                result = route_on_subnet(subnet, traffic)
+            except InfeasibleError:
+                continue
+            out.append(Candidate(f"aggregation-{level}", result, traffic))
+        for k in self.scale_factors:
+            consolidator = GreedyConsolidator(
+                self.workload.topology,
+                switch_model=self.switch_model,
+                link_model=self.link_model,
+            )
+            try:
+                result = consolidator.consolidate(traffic, k, best_effort_scale=True)
+            except InfeasibleError:
+                continue
+            out.append(Candidate(f"K-{k:g}", result, traffic))
+        if not out:
+            raise InfeasibleError(
+                f"no consolidation candidate can carry {background_utilization:.0%} background"
+            )
+        return out
+
+    def evaluate(
+        self, candidate: Candidate, utilization: float, governor_factory=None
+    ) -> JointEvaluation:
+        """Price one candidate with a full DES run."""
+        return evaluate_operating_point(
+            self.workload,
+            candidate.traffic,
+            candidate.consolidation,
+            utilization,
+            governor_factory or self.default_governor_factory(),
+            params=self.params,
+            switch_model=self.switch_model,
+            link_model=self.link_model,
+        )
+
+    def optimize(
+        self,
+        background_utilization: float,
+        utilization: float,
+        governor_factory=None,
+    ) -> tuple[Candidate, JointEvaluation]:
+        """The EPRONS decision: cheapest candidate that meets the SLA.
+
+        When no candidate meets the SLA, returns the one with the lowest
+        tail latency (best effort) — matching the paper's observation
+        that below ~18 ms no scheme can meet the constraint.
+        """
+        evaluated: list[tuple[Candidate, JointEvaluation]] = []
+        for cand in self.candidates(background_utilization):
+            evaluated.append((cand, self.evaluate(cand, utilization, governor_factory)))
+        feasible = [(c, e) for c, e in evaluated if e.sla_met]
+        if feasible:
+            return min(feasible, key=lambda ce: ce[1].total_watts)
+        return min(evaluated, key=lambda ce: ce[1].query_p95_s)
+
+
+@dataclass(frozen=True)
+class DiurnalResult:
+    """Per-epoch power series for every scheme over one day."""
+
+    minutes: np.ndarray
+    total_watts: dict[str, np.ndarray]
+    network_watts: dict[str, np.ndarray]
+    server_watts: dict[str, np.ndarray]
+    chosen_candidate: dict[str, list[str]]
+
+    def average_saving(self, scheme: str, baseline: str = "no-pm") -> float:
+        """Mean fractional total-power saving vs the baseline (Fig. 15b)."""
+        base = self.total_watts[baseline]
+        return float(np.mean(1.0 - self.total_watts[scheme] / base))
+
+    def peak_saving(self, scheme: str, baseline: str = "no-pm") -> float:
+        """Best per-epoch fractional saving (the paper's 31.25 % figure)."""
+        base = self.total_watts[baseline]
+        return float(np.max(1.0 - self.total_watts[scheme] / base))
+
+    def component_saving(self, scheme: str, component: str, baseline: str = "no-pm") -> float:
+        """Mean fractional saving of one component ('network'/'server')."""
+        series = {"network": self.network_watts, "server": self.server_watts}[component]
+        return float(np.mean(1.0 - series[scheme] / series[baseline]))
+
+
+class DiurnalRunner:
+    """Fig. 15: replay a diurnal day under three power-management
+    schemes, re-optimizing every epoch.
+
+    Server power per epoch is interpolated from
+    :class:`~repro.core.profiles.PowerProfile` tables built lazily per
+    (scheme, aggregation level, background bucket); network power comes
+    from the chosen subnet.
+    """
+
+    def __init__(
+        self,
+        workload: SearchWorkload,
+        peak_utilization: float = 0.5,
+        levels=AGGREGATION_LEVELS,
+        bg_buckets=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6),
+        util_grid=DEFAULT_UTIL_GRID,
+        params: JointSimParams | None = None,
+        switch_model: SwitchPowerModel | None = None,
+        link_model: LinkPowerModel | None = None,
+        traffic_seed: int = 1,
+    ):
+        if not 0.0 < peak_utilization < 1.0:
+            raise ConfigurationError("peak utilization must lie in (0, 1)")
+        self.workload = workload
+        self.peak_utilization = peak_utilization
+        self.levels = tuple(levels)
+        self.bg_buckets = tuple(sorted(bg_buckets))
+        self.util_grid = util_grid
+        self.params = params or JointSimParams(sim_cores=1, duration_s=8.0, warmup_s=1.0)
+        self.switch_model = switch_model or SwitchPowerModel()
+        self.link_model = link_model or LinkPowerModel()
+        self.traffic_seed = traffic_seed
+        self._profiles = ProfileTable()
+        self._consolidations: dict[tuple, tuple] = {}
+
+    # -- internals --------------------------------------------------------------
+
+    def _bucket(self, bg: float) -> float:
+        return min(self.bg_buckets, key=lambda b: abs(b - bg))
+
+    def _consolidation_for(self, level: int, bg_bucket: float):
+        """(traffic, ConsolidationResult) or None when infeasible."""
+        key = (level, bg_bucket)
+        if key not in self._consolidations:
+            traffic = self.workload.traffic(bg_bucket, seed_or_rng=self.traffic_seed)
+            subnet = aggregation_policy(self.workload.topology, level)
+            try:
+                result = route_on_subnet(subnet, traffic)
+            except InfeasibleError:
+                self._consolidations[key] = None
+            else:
+                self._consolidations[key] = (traffic, result)
+        return self._consolidations[key]
+
+    def _governor_factory(self, scheme: str):
+        svc = self.workload.service_model
+        if scheme == "eprons":
+            return lambda: EpronsServerGovernor(svc, XEON_LADDER)
+        if scheme == "timetrader":
+            return lambda: TimeTraderGovernor(
+                XEON_LADDER, self.workload.latency_constraint_s
+            )
+        if scheme == "no-pm":
+            return lambda: MaxFrequencyGovernor(XEON_LADDER)
+        raise ConfigurationError(f"unknown scheme {scheme!r}")
+
+    def _params_for(self, scheme: str) -> JointSimParams:
+        """Per-scheme simulation parameters for profile building.
+
+        Feedback-timer governors (TimeTrader) need several 5-s windows
+        to converge before their steady-state power is representative;
+        give them a longer measured run with the ramp-in as warmup.
+        """
+        factory = self._governor_factory(scheme)
+        period = factory().timer_period_s
+        if period is None:
+            return self.params
+        from dataclasses import replace
+
+        duration = max(self.params.duration_s, 12.0 * period)
+        return replace(self.params, duration_s=duration, warmup_s=4.0 * period)
+
+    def _profile(self, scheme: str, level: int, bg_bucket: float) -> PowerProfile | None:
+        entry = self._consolidation_for(level, bg_bucket)
+        if entry is None:
+            return None
+
+        def build():
+            traffic, result = entry
+            return PowerProfile.build(
+                self.workload,
+                traffic,
+                result,
+                self._governor_factory(scheme),
+                util_grid=self.util_grid,
+                params=self._params_for(scheme),
+            )
+
+        return self._profiles.get_or_build((scheme, level, bg_bucket), build)
+
+    def _network_watts(self, level: int) -> float:
+        subnet = aggregation_policy(self.workload.topology, level)
+        sw, ln = subnet.network_power(self.switch_model, self.link_model)
+        return sw + ln
+
+    def _server_watts(self, profile: PowerProfile, utilization: float) -> float:
+        p = self.params
+        per_core = profile.per_core_power(utilization)
+        return p.n_servers * (p.static_watts + p.n_cores_per_server * per_core)
+
+    def _epoch_power(self, scheme: str, utilization: float, bg_bucket: float):
+        """(total, network, server, candidate_name) for one epoch."""
+        if scheme in ("timetrader", "no-pm"):
+            # Neither baseline manages DCN power: the full topology
+            # stays on (aggregation 0).
+            profile = self._profile(scheme, 0, bg_bucket)
+            assert profile is not None  # aggregation 0 always routes
+            net = self._network_watts(0)
+            srv = self._server_watts(profile, utilization)
+            return net + srv, net, srv, "aggregation-0"
+
+        best = None
+        for level in self.levels:
+            profile = self._profile("eprons", level, bg_bucket)
+            if profile is None:
+                continue
+            if not profile.sla_met(utilization):
+                continue
+            net = self._network_watts(level)
+            srv = self._server_watts(profile, utilization)
+            total = net + srv
+            if best is None or total < best[0]:
+                best = (total, net, srv, f"aggregation-{level}")
+        if best is None:
+            # No level meets the SLA: fall back to the full topology
+            # (maximum network slack — the least-bad option).
+            profile = self._profile("eprons", 0, bg_bucket)
+            assert profile is not None
+            net = self._network_watts(0)
+            srv = self._server_watts(profile, utilization)
+            best = (net + srv, net, srv, "aggregation-0 (sla-miss)")
+        return best
+
+    # -- the day loop ------------------------------------------------------------
+
+    def run(self, trace: DiurnalTrace, epoch_minutes: int = 10) -> DiurnalResult:
+        """Replay the trace, re-deciding every ``epoch_minutes``."""
+        epochs = trace.subsampled(epoch_minutes)
+        totals = {s: [] for s in SCHEMES}
+        nets = {s: [] for s in SCHEMES}
+        servers = {s: [] for s in SCHEMES}
+        chosen = {s: [] for s in SCHEMES}
+        for load, bg in zip(epochs.search_load, epochs.background_utilization):
+            utilization = max(1e-3, self.peak_utilization * float(load))
+            bucket = self._bucket(float(bg))
+            for scheme in SCHEMES:
+                total, net, srv, cand = self._epoch_power(scheme, utilization, bucket)
+                totals[scheme].append(total)
+                nets[scheme].append(net)
+                servers[scheme].append(srv)
+                chosen[scheme].append(cand)
+        return DiurnalResult(
+            minutes=epochs.minutes.copy(),
+            total_watts={s: np.asarray(v) for s, v in totals.items()},
+            network_watts={s: np.asarray(v) for s, v in nets.items()},
+            server_watts={s: np.asarray(v) for s, v in servers.items()},
+            chosen_candidate=chosen,
+        )

@@ -1,0 +1,144 @@
+"""Joint network+server power evaluation (Section IV).
+
+One *operating point* of the data center fixes the consolidation (an
+aggregation policy, or the LP/heuristic at a scale factor K), the
+server load, the SLA, and a DVFS governor.  :func:`evaluate_operating_point`
+prices that point end to end:
+
+* **network power** — switches + links of the active subnet;
+* **server power** — a representative-server DES run whose per-request
+  network latencies are sampled from the *consolidated* network (this
+  is the coupling that makes the optimization joint: more aggregation
+  ⇒ higher network latency ⇒ less compute slack ⇒ higher CPU power);
+* **SLA** — the pooled 95th-percentile end-to-end latency against L.
+
+The ISNs are statistically identical under the pooled latency mixture,
+so a small number of simulated cores prices every core in the fleet —
+the same scaling argument the paper uses for its Fig. 13/15 results
+("scaled based on the result of our MiniNet experiments").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..consolidation.base import ConsolidationResult
+from ..control.latency_monitor import LatencyMonitor
+from ..errors import ConfigurationError
+from ..netsim.latency import LinkLatencyModel
+from ..netsim.network import NetworkModel
+from ..power.meter import PowerBreakdown
+from ..power.models import LinkPowerModel, SwitchPowerModel
+from ..sim.runner import ServerSimConfig, ServerSimResult, run_server_simulation
+from ..workloads.search import SearchWorkload
+
+__all__ = ["JointSimParams", "JointEvaluation", "evaluate_operating_point"]
+
+
+@dataclass(frozen=True)
+class JointSimParams:
+    """Knobs of the representative-server evaluation.
+
+    ``sim_cores`` cores are simulated for ``duration_s`` seconds; their
+    average per-core power prices all ``n_servers * n_cores_per_server``
+    cores in the fleet.
+    """
+
+    n_servers: int = 16
+    n_cores_per_server: int = 12
+    sim_cores: int = 2
+    duration_s: float = 12.0
+    warmup_s: float = 2.0
+    static_watts: float = 20.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0 or self.n_cores_per_server <= 0 or self.sim_cores <= 0:
+            raise ConfigurationError("server/core counts must be positive")
+        if not 0.0 <= self.warmup_s < self.duration_s:
+            raise ConfigurationError("need 0 <= warmup < duration")
+
+
+@dataclass(frozen=True)
+class JointEvaluation:
+    """A fully priced operating point."""
+
+    breakdown: PowerBreakdown
+    sla_met: bool
+    query_p95_s: float
+    violation_rate: float
+    n_switches_on: int
+    scale_factor: float
+    governor: str
+    server_result: ServerSimResult
+    consolidation: ConsolidationResult
+
+    @property
+    def total_watts(self) -> float:
+        return self.breakdown.total_watts
+
+
+def evaluate_operating_point(
+    workload: SearchWorkload,
+    traffic,
+    consolidation: ConsolidationResult,
+    utilization: float,
+    governor_factory,
+    params: JointSimParams | None = None,
+    switch_model: SwitchPowerModel | None = None,
+    link_model: LinkPowerModel | None = None,
+    link_latency_model: LinkLatencyModel | None = None,
+) -> JointEvaluation:
+    """Price one (consolidation, load, governor) operating point.
+
+    ``traffic`` must be the same flow set the consolidation routed —
+    link utilizations (and hence network latencies) are computed from
+    its actual demands.
+    """
+    params = params or JointSimParams()
+    switch_model = switch_model or SwitchPowerModel()
+    link_model = link_model or LinkPowerModel()
+
+    network = NetworkModel(
+        workload.topology,
+        traffic,
+        consolidation.routing,
+        link_model=link_latency_model,
+    )
+    monitor = LatencyMonitor(network)
+    sampler = monitor.pooled_sampler(seed_or_rng=params.seed)
+
+    config = ServerSimConfig(
+        utilization=utilization,
+        latency_constraint_s=workload.latency_constraint_s,
+        network_budget_s=workload.network_budget_s,
+        n_cores=params.sim_cores,
+        duration_s=params.duration_s,
+        warmup_s=params.warmup_s,
+        static_watts=params.static_watts,
+        seed=params.seed,
+    )
+    server = run_server_simulation(
+        workload.service_model, governor_factory, config, network_latency_sampler=sampler
+    )
+
+    per_core = server.cpu_power_watts / params.sim_cores
+    fleet_cpu = params.n_servers * params.n_cores_per_server * per_core
+    switch_watts, link_watts = consolidation.subnet.network_power(switch_model, link_model)
+    breakdown = PowerBreakdown(
+        switch_watts=switch_watts,
+        link_watts=link_watts,
+        server_static_watts=params.n_servers * params.static_watts,
+        server_cpu_watts=fleet_cpu,
+    )
+    return JointEvaluation(
+        breakdown=breakdown,
+        sla_met=server.meets_sla,
+        query_p95_s=server.total_latency.p95,
+        violation_rate=server.violation_rate,
+        n_switches_on=consolidation.n_switches_on,
+        scale_factor=consolidation.scale_factor,
+        governor=server.governor,
+        server_result=server,
+        consolidation=consolidation,
+    )

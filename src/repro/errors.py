@@ -1,0 +1,47 @@
+"""Exception hierarchy for the EPRONS reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from infeasible
+optimization instances.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A model or simulation was configured with invalid parameters.
+
+    Raised eagerly at construction time (for example a negative link
+    capacity, an empty frequency ladder, or a fat-tree arity that is not
+    an even positive integer) so misuse fails fast rather than
+    producing silently wrong power numbers.
+    """
+
+
+class InfeasibleError(ReproError):
+    """An optimization instance admits no feasible solution.
+
+    EPRONS-Network raises this when the offered traffic cannot be packed
+    onto the topology at the requested scale factor — e.g. scale factor
+    ``K`` inflates a flow beyond every path's residual capacity, or an
+    aggregation policy disconnects a source/destination pair.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state.
+
+    This always indicates a bug (an event scheduled in the past, a
+    departure for an idle core, ...) rather than a user error, and is
+    used as an internal assertion that produces a diagnosable message.
+    """
+
+
+class SolverError(ReproError):
+    """The underlying MILP solver failed for a reason other than
+    infeasibility (time limit, numerical failure, unexpected status)."""

@@ -1,0 +1,33 @@
+"""Per-figure experiment drivers.
+
+Each ``figXX_*`` module regenerates one figure of the paper's
+evaluation.  Importing this package populates the
+:data:`~repro.experiments.runner.REGISTRY`; run a figure with::
+
+    python -m repro.experiments fig11
+"""
+
+from . import (  # noqa: F401  (imported for registry side effects)
+    ablation_network,
+    ablation_server,
+    ablation_sleep,
+    adaptive_k,
+    churn,
+    datacenter_scale,
+    fig01_knee,
+    fig02_scale_factor,
+    fig04_violation_prob,
+    fig08_switch_power,
+    fig09_aggregation,
+    fig10_network_latency,
+    fig11_k_tradeoff,
+    fig12_server_power,
+    fig13_joint_power,
+    fig14_trace,
+    fig15_diurnal,
+    scaling,
+    validation,
+)
+from .runner import REGISTRY, ExperimentResult, format_table
+
+__all__ = ["REGISTRY", "ExperimentResult", "format_table"]

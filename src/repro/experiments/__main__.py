@@ -1,0 +1,62 @@
+"""CLI: regenerate paper figures.
+
+Usage::
+
+    python -m repro.experiments                    # list available figures
+    python -m repro.experiments fig11              # run one figure
+    python -m repro.experiments all                # run everything (slow)
+    python -m repro.experiments fig11 --save out/  # also archive JSON
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import REGISTRY
+from .persist import save_result
+
+
+def _each_result(res):
+    if isinstance(res, tuple):
+        yield from res
+    else:
+        yield res
+
+
+def main(argv: list[str]) -> int:
+    args = list(argv[1:])
+    save_dir = None
+    if "--save" in args:
+        i = args.index("--save")
+        try:
+            save_dir = args[i + 1]
+        except IndexError:
+            print("--save requires a directory argument")
+            return 1
+        del args[i : i + 2]
+    if not args:
+        print("Available figures:", ", ".join(sorted(REGISTRY)))
+        print("Usage: python -m repro.experiments <figure|all> [--save DIR]")
+        return 0
+    target = args[0]
+    names = sorted(REGISTRY) if target == "all" else [target]
+    for name in names:
+        fn = REGISTRY.get(name)
+        if fn is None:
+            print(f"Unknown figure {name!r}. Available: {', '.join(sorted(REGISTRY))}")
+            return 1
+        t0 = time.time()
+        result = fn()
+        for r in _each_result(result):
+            print(r)
+            print()
+            if save_dir is not None:
+                path = save_result(r, save_dir)
+                print(f"[saved {path}]")
+        print(f"[{name} completed in {time.time() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

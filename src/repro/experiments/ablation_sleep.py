@@ -1,0 +1,91 @@
+"""Sleep-states vs DVFS — the related-work families, head to head.
+
+The paper's related work divides server energy proportionality into
+*sleeping* (PowerNap [9], DynSleep [11]) and *performance scaling*
+(Rubik, EPRONS-Server).  This experiment runs both families, plus their
+hybrid, on the same search workload:
+
+* **no-pm** — f_max, idle cores draw idle power;
+* **powernap** — f_max plus deep sleep in idle gaps (race-to-sleep);
+* **eprons-server** — the paper's DVFS governor, no sleep states;
+* **eprons+sleep** — DVFS while busy *and* deep sleep while idle (a
+  natural extension the paper leaves open).
+
+The expected picture: sleeping wins at very low load (long idle gaps),
+DVFS wins as load grows (gaps too short to pay the wake latency), and
+the hybrid dominates both.
+"""
+
+from __future__ import annotations
+
+from ..policies.eprons_server import EpronsServerGovernor
+from ..policies.maxfreq import MaxFrequencyGovernor
+from ..power.sleep import POWERNAP_SLEEP
+from ..server.dvfs import XEON_LADDER
+from ..sim.runner import ServerSimConfig, run_server_simulation
+from ..topology.fattree import FatTree
+from ..units import to_ms
+from ..workloads.search import SearchWorkload
+from .fig12_server_power import _network_sampler, _scaled_cpu_power
+from .runner import ExperimentResult, register
+
+__all__ = ["run"]
+
+SCHEMES = ("no-pm", "powernap", "eprons-server", "eprons+sleep")
+
+
+def run(
+    utilizations=(0.1, 0.3, 0.5),
+    constraint_s: float = 30e-3,
+    background: float = 0.2,
+    duration_s: float = 40.0,
+    n_cores: int = 2,
+    seed: int = 3,
+) -> ExperimentResult:
+    ft = FatTree(4)
+    workload = SearchWorkload(ft, latency_constraint_s=constraint_s)
+    sampler = _network_sampler(workload, background, seed)
+    svc = workload.service_model
+    result = ExperimentResult(
+        figure="ablation-sleep",
+        title="Sleep states (PowerNap-style) vs DVFS (EPRONS-Server) vs hybrid",
+        columns=("scheme", "utilization_pct", "cpu_w_12core", "p95_ms", "sla_met"),
+        notes=(
+            "Sleeping exploits idle gaps (best at low load); DVFS "
+            "stretches service (best at higher load); the hybrid takes "
+            "both."
+        ),
+    )
+    cases = {
+        "no-pm": (lambda: MaxFrequencyGovernor(XEON_LADDER), None),
+        "powernap": (lambda: MaxFrequencyGovernor(XEON_LADDER), POWERNAP_SLEEP),
+        "eprons-server": (lambda: EpronsServerGovernor(svc, XEON_LADDER), None),
+        "eprons+sleep": (lambda: EpronsServerGovernor(svc, XEON_LADDER), POWERNAP_SLEEP),
+    }
+    for name, (factory, sleep) in cases.items():
+        for u in utilizations:
+            config = ServerSimConfig(
+                utilization=u,
+                latency_constraint_s=workload.latency_constraint_s,
+                network_budget_s=workload.network_budget_s,
+                n_cores=n_cores,
+                duration_s=duration_s,
+                warmup_s=min(duration_s / 3.0, 10.0),
+                seed=seed,
+            )
+            r = run_server_simulation(
+                svc, factory, config, network_latency_sampler=sampler, sleep_model=sleep
+            )
+            result.add(
+                name,
+                round(u * 100.0, 1),
+                _scaled_cpu_power(r, n_cores),
+                to_ms(r.total_latency.p95),
+                r.meets_sla,
+            )
+    return result
+
+
+@register("ablation-sleep")
+def default() -> ExperimentResult:
+    return run()

@@ -1,0 +1,105 @@
+"""Does the joint saving survive a bigger fabric?
+
+The paper evaluates on a k=4 fat-tree (16 servers, 20 switches).  The
+model is topology-generic, so this experiment re-runs the joint
+optimization on k=4 and k=6 (54 servers, 45 switches) and checks that
+the EPRONS decisions and savings generalize: the minimal subnet still
+wins at light background, and the relative total-power saving vs no
+power management stays in the same band as the fabric grows.
+"""
+
+from __future__ import annotations
+
+from ..consolidation.heuristic import route_on_subnet
+from ..core.joint import JointSimParams, evaluate_operating_point
+from ..errors import InfeasibleError
+from ..policies.eprons_server import EpronsServerGovernor
+from ..policies.maxfreq import MaxFrequencyGovernor
+from ..server.dvfs import XEON_LADDER
+from ..topology.aggregation import AGGREGATION_LEVELS, aggregation_policy
+from ..topology.fattree import FatTree
+from ..workloads.search import SearchWorkload
+from .runner import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+def run(
+    arities=(4, 6),
+    background: float = 0.2,
+    utilization: float = 0.3,
+    duration_s: float = 8.0,
+    seed: int = 1,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        figure="datacenter-scale",
+        title="Joint savings across fat-tree arities (k=4 vs k=6)",
+        columns=(
+            "k",
+            "servers",
+            "switches",
+            "best_level",
+            "eprons_total_w",
+            "no_pm_total_w",
+            "saving_pct",
+            "sla_met",
+        ),
+        notes=(
+            "The EPRONS decision structure (minimal feasible subnet + "
+            "average-VP DVFS) and the relative saving carry over as the "
+            "fabric grows."
+        ),
+    )
+    for k in arities:
+        ft = FatTree(k)
+        workload = SearchWorkload(ft)
+        params = JointSimParams(
+            n_servers=ft.n_hosts,
+            sim_cores=1,
+            duration_s=duration_s,
+            warmup_s=min(2.0, duration_s / 4),
+            seed=seed,
+        )
+        traffic = workload.traffic(background, seed_or_rng=seed)
+
+        best = None
+        for level in AGGREGATION_LEVELS:
+            subnet = aggregation_policy(ft, level)
+            try:
+                consolidation = route_on_subnet(subnet, traffic)
+            except InfeasibleError:
+                continue
+            ev = evaluate_operating_point(
+                workload, traffic, consolidation, utilization,
+                lambda: EpronsServerGovernor(workload.service_model, XEON_LADDER),
+                params=params,
+            )
+            if ev.sla_met and (best is None or ev.total_watts < best[1].total_watts):
+                best = (level, ev)
+        assert best is not None, f"no feasible level at k={k}"
+        level, ev = best
+
+        nopm = evaluate_operating_point(
+            workload,
+            traffic,
+            route_on_subnet(aggregation_policy(ft, 0), traffic),
+            utilization,
+            lambda: MaxFrequencyGovernor(XEON_LADDER),
+            params=params,
+        )
+        result.add(
+            k,
+            ft.n_hosts,
+            ft.n_switches,
+            f"aggregation-{level}",
+            ev.total_watts,
+            nopm.total_watts,
+            (1.0 - ev.total_watts / nopm.total_watts) * 100.0,
+            ev.sla_met,
+        )
+    return result
+
+
+@register("datacenter-scale")
+def default() -> ExperimentResult:
+    return run()

@@ -1,0 +1,61 @@
+"""Fig. 1 — link utilization vs search-query latency (the knee).
+
+The paper measures average query latency on its platform as link
+utilization rises: flat (~139 µs) at low utilization, exploding to
+~12 ms past the knee.  We regenerate the curve from the calibrated
+:class:`~repro.netsim.latency.LinkLatencyModel` over a representative
+query path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netsim.latency import LinkLatencyModel, sample_path_delays
+from ..rng import ensure_rng
+from ..units import to_ms, to_us
+from .runner import ExperimentResult, register
+
+__all__ = ["run"]
+
+#: Hop count of a cross-pod query path in the k=4 fat-tree (host-edge,
+#: edge-agg, agg-core, core-agg, agg-edge, edge-host).
+QUERY_PATH_HOPS = 6
+
+
+def run(
+    utilizations=None,
+    n_hops: int = QUERY_PATH_HOPS,
+    n_samples: int = 20_000,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Sweep utilization and report mean / tail path latency."""
+    if utilizations is None:
+        utilizations = np.concatenate(
+            [np.arange(0.0, 0.8, 0.1), np.arange(0.8, 0.981, 0.03)]
+        )
+    model = LinkLatencyModel()
+    rng = ensure_rng(seed)
+    result = ExperimentResult(
+        figure="fig01",
+        title="Link utilization vs query latency (knee curve)",
+        columns=("utilization_pct", "mean_us", "p95_ms", "p99_ms"),
+        notes=(
+            "Paper reference points: ~139 us at low utilization, "
+            "~11.98 ms past the knee."
+        ),
+    )
+    for rho in utilizations:
+        samples = sample_path_delays(model, [float(rho)] * n_hops, n_samples, rng)
+        result.add(
+            round(float(rho) * 100.0, 1),
+            to_us(float(samples.mean())),
+            to_ms(float(np.percentile(samples, 95.0))),
+            to_ms(float(np.percentile(samples, 99.0))),
+        )
+    return result
+
+
+@register("fig01")
+def default() -> ExperimentResult:
+    return run()

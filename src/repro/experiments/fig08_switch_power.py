@@ -1,0 +1,42 @@
+"""Fig. 8 — switch power vs link utilization (HPE E3800 J9574A).
+
+The paper's measurement: 97.5 W idle, at most +0.59 W from 0 to 100 %
+utilization (0.6 % of idle) — justifying the utilization-independent
+switch power model used everywhere else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..power.models import HPESwitchPowerModel
+from .runner import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+def run(utilizations=None) -> ExperimentResult:
+    if utilizations is None:
+        utilizations = np.arange(0.0, 1.01, 0.1)
+    model = HPESwitchPowerModel()
+    result = ExperimentResult(
+        figure="fig08",
+        title="Switch power vs link utilization (HPE E3800)",
+        columns=("utilization_pct", "power_w", "delta_vs_idle_w", "delta_pct"),
+        notes="Paper: +0.59 W max (0.6% of the 97.5 W idle draw).",
+    )
+    idle = model.power(True, 0.0)
+    for rho in utilizations:
+        p = model.power(True, float(rho))
+        result.add(
+            round(float(rho) * 100.0, 1),
+            p,
+            p - idle,
+            (p - idle) / idle * 100.0,
+        )
+    return result
+
+
+@register("fig08")
+def default() -> ExperimentResult:
+    return run()

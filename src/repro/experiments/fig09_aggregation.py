@@ -1,0 +1,58 @@
+"""Fig. 9 — the four aggregation policies of the 4-ary fat-tree.
+
+Which switches stay on at each consolidation level, and what the
+resulting network power is.
+"""
+
+from __future__ import annotations
+
+from ..power.models import LinkPowerModel, SwitchPowerModel
+from ..topology.aggregation import AGGREGATION_LEVELS, aggregation_policy
+from ..topology.fattree import FatTree
+from ..topology.graph import NodeKind
+from .runner import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+def run(k: int = 4) -> ExperimentResult:
+    ft = FatTree(k)
+    switch_model, link_model = SwitchPowerModel(), LinkPowerModel()
+    result = ExperimentResult(
+        figure="fig09",
+        title=f"Aggregation policies 0-3 on the {k}-ary fat-tree",
+        columns=(
+            "level",
+            "cores_on",
+            "aggs_on",
+            "edges_on",
+            "switches_on",
+            "links_on",
+            "network_w",
+            "hosts_connected",
+        ),
+        notes="Paper (k=4): 20 / 19 / 14 / 13 active switches.",
+    )
+    for level in AGGREGATION_LEVELS:
+        sub = aggregation_policy(ft, level)
+        by_kind = {
+            kind: sum(1 for s in sub.switches_on if ft.kind(s) == kind)
+            for kind in (NodeKind.CORE, NodeKind.AGG, NodeKind.EDGE)
+        }
+        sw, ln = sub.network_power(switch_model, link_model)
+        result.add(
+            level,
+            by_kind[NodeKind.CORE],
+            by_kind[NodeKind.AGG],
+            by_kind[NodeKind.EDGE],
+            sub.n_switches_on,
+            sub.n_links_on,
+            sw + ln,
+            sub.connects_all_hosts(),
+        )
+    return result
+
+
+@register("fig09")
+def default() -> ExperimentResult:
+    return run()

@@ -1,0 +1,196 @@
+"""Fig. 12 — server power management comparison (EPRONS-Server vs
+Rubik, Rubik+, TimeTrader, no power management).
+
+(a) CPU power vs server utilization at a 30 ms constraint;
+(b) CPU power vs request tail-latency constraint at 30 % utilization;
+(c) EPRONS-Server power across (utilization, constraint).
+
+The network is not power-managed here (the paper fixes 20 % background
+on the full topology); per-request network latencies come from the
+routed network model.
+"""
+
+from __future__ import annotations
+
+from ..consolidation.heuristic import route_on_subnet
+from ..control.latency_monitor import LatencyMonitor
+from ..netsim.network import NetworkModel
+from ..policies.eprons_server import EpronsServerGovernor
+from ..policies.maxfreq import MaxFrequencyGovernor
+from ..policies.rubik import RubikGovernor, RubikPlusGovernor
+from ..policies.timetrader import TimeTraderGovernor
+from ..server.dvfs import XEON_LADDER
+from ..sim.runner import ServerSimConfig, run_server_simulation
+from ..topology.aggregation import aggregation_policy
+from ..topology.fattree import FatTree
+from ..units import to_ms
+from ..workloads.search import SearchWorkload
+from .runner import ExperimentResult, register
+
+__all__ = ["run_utilization_sweep", "run_constraint_sweep", "run_heatmap", "GOVERNORS"]
+
+GOVERNORS = ("no-pm", "timetrader", "rubik", "rubik+", "eprons-server")
+
+DEFAULT_UTILIZATIONS = (0.1, 0.2, 0.3, 0.4, 0.5)
+DEFAULT_CONSTRAINTS_MS = (18.0, 19.0, 20.0, 22.0, 25.0, 28.0, 31.0, 34.0, 40.0)
+
+
+def _governor_factory(name: str, workload: SearchWorkload, constraint_s: float):
+    svc = workload.service_model
+    if name == "no-pm":
+        return lambda: MaxFrequencyGovernor(XEON_LADDER)
+    if name == "timetrader":
+        return lambda: TimeTraderGovernor(XEON_LADDER, constraint_s)
+    if name == "rubik":
+        return lambda: RubikGovernor(svc, XEON_LADDER)
+    if name == "rubik+":
+        return lambda: RubikPlusGovernor(svc, XEON_LADDER)
+    if name == "eprons-server":
+        return lambda: EpronsServerGovernor(svc, XEON_LADDER)
+    raise ValueError(f"unknown governor {name!r}")
+
+
+def _network_sampler(workload: SearchWorkload, background: float, seed: int):
+    """Pooled per-request network-latency sampler at the experiment's
+    fixed 20 % background, full topology (no network PM)."""
+    traffic = workload.traffic(background, seed_or_rng=seed)
+    subnet = aggregation_policy(workload.topology, 0)
+    res = route_on_subnet(subnet, traffic)
+    monitor = LatencyMonitor(NetworkModel(workload.topology, traffic, res.routing))
+    return monitor.pooled_sampler(seed_or_rng=seed)
+
+
+def _sim(workload, governor_name, utilization, duration_s, n_cores, seed, sampler):
+    config = ServerSimConfig(
+        utilization=utilization,
+        latency_constraint_s=workload.latency_constraint_s,
+        network_budget_s=workload.network_budget_s,
+        n_cores=n_cores,
+        duration_s=duration_s,
+        warmup_s=min(duration_s / 3.0, 20.0),
+        seed=seed,
+    )
+    factory = _governor_factory(governor_name, workload, workload.latency_constraint_s)
+    return run_server_simulation(
+        workload.service_model, factory, config, network_latency_sampler=sampler
+    )
+
+
+def _scaled_cpu_power(result, n_cores_simulated: int, n_cores_server: int = 12) -> float:
+    """Scale simulated per-core power to the paper's 12-core CPU."""
+    return result.cpu_power_watts / n_cores_simulated * n_cores_server
+
+
+def run_utilization_sweep(
+    utilizations=DEFAULT_UTILIZATIONS,
+    governors=GOVERNORS,
+    constraint_s: float = 30e-3,
+    background: float = 0.2,
+    duration_s: float = 60.0,
+    n_cores: int = 2,
+    seed: int = 3,
+) -> ExperimentResult:
+    """Fig. 12(a): CPU power vs utilization per governor."""
+    ft = FatTree(4)
+    workload = SearchWorkload(ft, latency_constraint_s=constraint_s)
+    sampler = _network_sampler(workload, background, seed)
+    result = ExperimentResult(
+        figure="fig12a",
+        title="CPU power vs server utilization (30 ms constraint)",
+        columns=("governor", "utilization_pct", "cpu_w_12core", "p95_ms", "sla_met"),
+        notes=(
+            "Paper ordering: EPRONS-Server < Rubik+ < TimeTrader < Rubik "
+            "(except very low load) < no-PM."
+        ),
+    )
+    for gov in governors:
+        for u in utilizations:
+            r = _sim(workload, gov, u, duration_s, n_cores, seed, sampler)
+            result.add(
+                gov,
+                round(u * 100.0, 1),
+                _scaled_cpu_power(r, n_cores),
+                to_ms(r.total_latency.p95),
+                r.meets_sla,
+            )
+    return result
+
+
+def run_constraint_sweep(
+    constraints_ms=DEFAULT_CONSTRAINTS_MS,
+    governors=GOVERNORS,
+    utilization: float = 0.3,
+    background: float = 0.2,
+    duration_s: float = 60.0,
+    n_cores: int = 2,
+    seed: int = 3,
+) -> ExperimentResult:
+    """Fig. 12(b): CPU power vs tail-latency constraint at 30% load."""
+    ft = FatTree(4)
+    result = ExperimentResult(
+        figure="fig12b",
+        title="CPU power vs request tail-latency constraint (30% utilization)",
+        columns=("governor", "constraint_ms", "cpu_w_12core", "p95_ms", "sla_met"),
+        notes=(
+            "Paper: no scheme meets constraints below ~18 ms; above ~19 ms "
+            "EPRONS-Server consistently uses the least power."
+        ),
+    )
+    for L_ms in constraints_ms:
+        workload = SearchWorkload(ft, latency_constraint_s=L_ms * 1e-3)
+        sampler = _network_sampler(workload, background, seed)
+        for gov in governors:
+            r = _sim(workload, gov, utilization, duration_s, n_cores, seed, sampler)
+            result.add(
+                gov,
+                L_ms,
+                _scaled_cpu_power(r, n_cores),
+                to_ms(r.total_latency.p95),
+                r.meets_sla,
+            )
+    return result
+
+
+def run_heatmap(
+    utilizations=DEFAULT_UTILIZATIONS,
+    constraints_ms=(20.0, 25.0, 30.0, 35.0, 40.0),
+    background: float = 0.2,
+    duration_s: float = 40.0,
+    n_cores: int = 2,
+    seed: int = 3,
+) -> ExperimentResult:
+    """Fig. 12(c): EPRONS-Server power across (utilization, constraint)."""
+    ft = FatTree(4)
+    result = ExperimentResult(
+        figure="fig12c",
+        title="EPRONS-Server CPU power across utilization and constraint",
+        columns=("utilization_pct", "constraint_ms", "cpu_w_12core", "sla_met"),
+        notes="Paper: power falls steeply as the constraint loosens at small values.",
+    )
+    for L_ms in constraints_ms:
+        workload = SearchWorkload(ft, latency_constraint_s=L_ms * 1e-3)
+        sampler = _network_sampler(workload, background, seed)
+        for u in utilizations:
+            r = _sim(workload, "eprons-server", u, duration_s, n_cores, seed, sampler)
+            result.add(
+                round(u * 100.0, 1),
+                L_ms,
+                _scaled_cpu_power(r, n_cores),
+                r.meets_sla,
+            )
+    return result
+
+
+@register("fig12a")
+def default_a() -> ExperimentResult:
+    return run_utilization_sweep()
+
+
+@register("fig12b")
+def default_b() -> ExperimentResult:
+    return run_constraint_sweep()
+
+
+@register("fig12c")
+def default_c() -> ExperimentResult:
+    return run_heatmap()

@@ -1,0 +1,122 @@
+"""Fig. 13 — total system power under joint management.
+
+For background traffic at 1 % / 20 % / 50 % and a sweep of request
+tail-latency constraints, price every aggregation policy end to end
+(EPRONS-Server on the servers, the policy's subnet on the network).
+The paper's signature effects:
+
+* tighter constraints and heavier background make the deeper
+  aggregation levels infeasible ("aggregation 3 cannot support a tail
+  latency constraint less than 29 ms");
+* in a band of constraints, *turning a switch on* (agg 3 → agg 2)
+  lowers **total** power because the extra network slack lets
+  EPRONS-Server slow the fleet down by more than the switch draws.
+"""
+
+from __future__ import annotations
+
+from ..consolidation.heuristic import route_on_subnet
+from ..core.joint import JointSimParams, evaluate_operating_point
+from ..errors import InfeasibleError
+from ..policies.eprons_server import EpronsServerGovernor
+from ..policies.maxfreq import MaxFrequencyGovernor
+from ..server.dvfs import XEON_LADDER
+from ..topology.aggregation import AGGREGATION_LEVELS, aggregation_policy
+from ..topology.fattree import FatTree
+from ..units import to_ms
+from ..workloads.search import SearchWorkload
+from .runner import ExperimentResult, register
+
+__all__ = ["run"]
+
+DEFAULT_BACKGROUNDS = (0.01, 0.2, 0.5)
+DEFAULT_CONSTRAINTS_MS = (19.0, 22.0, 25.0, 28.0, 31.0, 34.0, 37.0, 40.0)
+
+
+def run(
+    backgrounds=DEFAULT_BACKGROUNDS,
+    constraints_ms=DEFAULT_CONSTRAINTS_MS,
+    levels=AGGREGATION_LEVELS,
+    utilization: float = 0.3,
+    params: JointSimParams | None = None,
+    include_no_pm: bool = True,
+    seed: int = 1,
+) -> ExperimentResult:
+    ft = FatTree(4)
+    params = params or JointSimParams(sim_cores=2, duration_s=15.0, warmup_s=3.0)
+    result = ExperimentResult(
+        figure="fig13",
+        title="Total system power vs constraint, aggregation and background (30% util)",
+        columns=(
+            "background_pct",
+            "constraint_ms",
+            "scheme",
+            "total_w",
+            "network_w",
+            "server_w",
+            "p95_ms",
+            "sla_met",
+        ),
+        notes=(
+            "Paper: aggregation 3 minimizes power at light background; "
+            "between ~29-31 ms at 20% background, turning a switch on "
+            "(agg 3 -> agg 2) lowers total power; at 50% background the "
+            "deep aggregations become infeasible."
+        ),
+    )
+    for bg in backgrounds:
+        consolidations = {}
+        base_workload = SearchWorkload(ft)
+        traffic = base_workload.traffic(bg, seed_or_rng=seed)
+        for level in levels:
+            subnet = aggregation_policy(ft, level)
+            try:
+                consolidations[level] = route_on_subnet(subnet, traffic)
+            except InfeasibleError:
+                continue
+        for L_ms in constraints_ms:
+            workload = SearchWorkload(ft, latency_constraint_s=L_ms * 1e-3)
+            for level, consolidation in consolidations.items():
+                ev = evaluate_operating_point(
+                    workload,
+                    traffic,
+                    consolidation,
+                    utilization,
+                    lambda: EpronsServerGovernor(workload.service_model, XEON_LADDER),
+                    params=params,
+                )
+                result.add(
+                    round(bg * 100.0, 1),
+                    L_ms,
+                    f"aggregation-{level}",
+                    ev.total_watts,
+                    ev.breakdown.network_watts,
+                    ev.breakdown.server_watts,
+                    to_ms(ev.query_p95_s),
+                    ev.sla_met,
+                )
+            if include_no_pm and 0 in consolidations:
+                ev = evaluate_operating_point(
+                    workload,
+                    traffic,
+                    consolidations[0],
+                    utilization,
+                    lambda: MaxFrequencyGovernor(XEON_LADDER),
+                    params=params,
+                )
+                result.add(
+                    round(bg * 100.0, 1),
+                    L_ms,
+                    "no-pm",
+                    ev.total_watts,
+                    ev.breakdown.network_watts,
+                    ev.breakdown.server_watts,
+                    to_ms(ev.query_p95_s),
+                    ev.sla_met,
+                )
+    return result
+
+
+@register("fig13")
+def default() -> ExperimentResult:
+    return run()

@@ -1,0 +1,67 @@
+"""Experiment-result persistence.
+
+Every :class:`~repro.experiments.runner.ExperimentResult` can be saved
+to JSON and reloaded — so a full-scale run's tables can be archived
+next to the paper-vs-measured notes in EXPERIMENTS.md and re-rendered
+without recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from .runner import ExperimentResult
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-serializable representation of a result."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "figure": result.figure,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [list(row) for row in result.rows],
+        "notes": result.notes,
+    }
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict` (validates shape)."""
+    try:
+        version = data["format_version"]
+        if version != _FORMAT_VERSION:
+            raise ConfigurationError(f"unsupported result format version {version}")
+        result = ExperimentResult(
+            figure=data["figure"],
+            title=data["title"],
+            columns=tuple(data["columns"]),
+            notes=data.get("notes", ""),
+        )
+        for row in data["rows"]:
+            result.add(*row)
+        return result
+    except KeyError as err:
+        raise ConfigurationError(f"result dict missing key {err}") from None
+
+
+def save_result(result: ExperimentResult, directory) -> Path:
+    """Write ``<directory>/<figure>.json``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.figure}.json"
+    path.write_text(json.dumps(result_to_dict(result), indent=2))
+    return path
+
+
+def load_result(path) -> ExperimentResult:
+    """Read a result saved by :func:`save_result`."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"result file not found: {path}")
+    return result_from_dict(json.loads(path.read_text()))

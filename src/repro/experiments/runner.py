@@ -1,0 +1,94 @@
+"""Shared experiment plumbing: result rows, table formatting, registry.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` whose
+rows regenerate one figure of the paper.  ``python -m repro.experiments
+fig11`` prints the table; the benchmark suite calls the same ``run``
+functions at reduced scale.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = ["ExperimentResult", "format_table", "REGISTRY", "register"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + metadata for one regenerated figure."""
+
+    figure: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        try:
+            i = self.columns.index(name)
+        except ValueError:
+            raise ConfigurationError(f"no column {name!r} in {self.columns}") from None
+        return [row[i] for row in self.rows]
+
+    def __str__(self) -> str:
+        header = f"== {self.figure}: {self.title} =="
+        body = format_table(self.columns, self.rows)
+        parts = [header, body]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(columns: Sequence[str], rows: Sequence[tuple]) -> str:
+    """Plain-text aligned table."""
+    rendered = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+#: figure id -> zero-argument callable returning ExperimentResult(s).
+REGISTRY: dict[str, Callable[[], object]] = {}
+
+
+def register(figure: str):
+    """Decorator registering an experiment's default-scale entry point."""
+
+    def wrap(fn):
+        REGISTRY[figure] = fn
+        return fn
+
+    return wrap

@@ -1,0 +1,25 @@
+"""Flow model, demand prediction and traffic-set construction."""
+
+from .dynamics import FlowChurnModel
+from .flow import Flow, FlowClass
+from .prediction import (
+    DEFAULT_SAFETY_MARGIN_BPS,
+    EpochStats,
+    PercentilePredictor,
+    usable_capacity,
+)
+from .traffic import TrafficSet, background_flows, combined_traffic, search_flows
+
+__all__ = [
+    "Flow",
+    "FlowClass",
+    "FlowChurnModel",
+    "TrafficSet",
+    "search_flows",
+    "background_flows",
+    "combined_traffic",
+    "PercentilePredictor",
+    "EpochStats",
+    "usable_capacity",
+    "DEFAULT_SAFETY_MARGIN_BPS",
+]

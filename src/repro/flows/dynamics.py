@@ -1,0 +1,151 @@
+"""Flow churn: an evolving background-flow population.
+
+The paper re-optimizes every 10 minutes because "bursty data center
+traffic" changes between epochs — flows come and go and their rates
+drift.  :class:`FlowChurnModel` generates that dynamic: a population of
+latency-tolerant elephants where, each epoch,
+
+* every flow survives with probability ``1 - 1/mean_lifetime_epochs``;
+* departed flows are replaced by fresh ones (new random endpoints);
+* every surviving flow's demand performs a bounded multiplicative
+  random walk around the epoch's target utilization.
+
+The model preserves flow identity across epochs so the controller's
+per-flow demand predictors keep their history for surviving flows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import ensure_rng
+from ..topology.graph import Topology
+from .flow import Flow, FlowClass
+from .traffic import TrafficSet
+
+__all__ = ["FlowChurnModel"]
+
+
+class FlowChurnModel:
+    """Evolves background elephants across controller epochs."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        n_flows: int | None = None,
+        mean_lifetime_epochs: float = 4.0,
+        demand_jitter: float = 0.15,
+        max_demand_fraction: float = 0.75,
+        seed_or_rng=None,
+    ):
+        if mean_lifetime_epochs < 1.0:
+            raise ConfigurationError("mean lifetime must be >= 1 epoch")
+        if not 0.0 <= demand_jitter < 1.0:
+            raise ConfigurationError("demand jitter must lie in [0, 1)")
+        if not 0.0 < max_demand_fraction <= 1.0:
+            raise ConfigurationError("max demand fraction must lie in (0, 1]")
+        hosts = list(topology.hosts)
+        if len(hosts) < 2:
+            raise ConfigurationError("flow churn needs at least two hosts")
+        self.topology = topology
+        self.n_flows = n_flows if n_flows is not None else len(hosts)
+        if self.n_flows <= 0:
+            raise ConfigurationError("n_flows must be positive")
+        self.mean_lifetime_epochs = mean_lifetime_epochs
+        self.demand_jitter = demand_jitter
+        #: Per-flow demand ceiling as a fraction of access capacity —
+        #: an elephant must always leave room on its access link for
+        #: the latency-sensitive mice sharing it (a flow pinning its
+        #: host's uplink would make the instance unroutable).
+        self.max_demand_fraction = max_demand_fraction
+        self._rng = ensure_rng(seed_or_rng)
+        self._hosts = hosts
+        self._epoch = 0
+        self._next_id = 0
+        self._flows: dict[str, Flow] = {}
+        self.births = 0
+        self.deaths = 0
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def _endpoint_loads(self) -> tuple[dict[str, int], dict[str, int]]:
+        src_load = {h: 0 for h in self._hosts}
+        dst_load = {h: 0 for h in self._hosts}
+        for flow in self._flows.values():
+            src_load[flow.src] += 1
+            dst_load[flow.dst] += 1
+        return src_load, dst_load
+
+    def _new_flow(self, demand_bps: float) -> Flow:
+        # Balance endpoints: new flows spawn at the least-loaded source
+        # and destination access links (randomized among ties) so the
+        # population stays physically routable at high utilization —
+        # two elephants stacked on one host downlink are unroutable.
+        src_load, dst_load = self._endpoint_loads()
+
+        def pick(load: dict[str, int], exclude: str | None = None) -> str:
+            candidates = [h for h in self._hosts if h != exclude]
+            low = min(load[h] for h in candidates)
+            pool = [h for h in candidates if load[h] == low]
+            return pool[int(self._rng.integers(len(pool)))]
+
+        src = pick(src_load)
+        dst = pick(dst_load, exclude=src)
+        fid = f"bgflow:{self._next_id}"
+        self._next_id += 1
+        self.births += 1
+        return Flow(fid, src, dst, demand_bps, FlowClass.LATENCY_TOLERANT)
+
+    def _access_capacity(self) -> float:
+        return self.topology.capacity(
+            self._hosts[0], self.topology.attachment_switch(self._hosts[0])
+        )
+
+    def _target_demand(self, utilization: float) -> float:
+        # Same sizing rule as background_flows: the population should
+        # load the average access link to the target utilization.
+        per_flow = utilization * self._access_capacity() * len(self._hosts) / self.n_flows
+        return max(per_flow, 1.0)
+
+    def _clip_demand(self, demand: float, target: float) -> float:
+        ceiling = self.max_demand_fraction * self._access_capacity()
+        return float(np.clip(demand, min(0.5 * target, ceiling), min(1.5 * target, ceiling)))
+
+    def advance(self, utilization: float) -> TrafficSet:
+        """One epoch step: churn, drift, and return the new population.
+
+        ``utilization`` is the epoch's target background level (e.g.
+        from the diurnal trace).
+        """
+        if not 0.0 <= utilization < 1.0:
+            raise ConfigurationError(f"utilization {utilization} outside [0, 1)")
+        target = self._target_demand(utilization)
+        death_p = 1.0 / self.mean_lifetime_epochs
+
+        survivors: dict[str, Flow] = {}
+        for fid, flow in self._flows.items():
+            if self._rng.random() < death_p:
+                self.deaths += 1
+                continue
+            # Multiplicative drift, pulled toward the epoch target and
+            # clipped to a sane band around it.
+            drift = float(
+                np.exp(self._rng.normal(0.0, self.demand_jitter))
+            )
+            survivors[fid] = flow.with_demand(
+                self._clip_demand(flow.demand_bps * drift, target)
+            )
+
+        # Commit survivors first so endpoint balancing for replacements
+        # sees the current population (including flows added this epoch).
+        self._flows = survivors
+        while len(self._flows) < self.n_flows:
+            jitter = float(np.exp(self._rng.normal(0.0, self.demand_jitter)))
+            flow = self._new_flow(self._clip_demand(target * jitter, target))
+            self._flows[flow.flow_id] = flow
+
+        self._epoch += 1
+        return TrafficSet(sorted(self._flows.values(), key=lambda f: f.flow_id))

@@ -1,0 +1,120 @@
+"""Bandwidth-demand prediction (paper Section II, step i).
+
+Traffic consolidation runs on *predicted* next-epoch demands: "the 90th
+percentile traffic data rate of the last epoch is used to predict the
+flow's bandwidth demand in the next epoch", and a safety margin on link
+capacity absorbs prediction error.
+
+:class:`PercentilePredictor` implements exactly that; the safety margin
+lives here too (:func:`usable_capacity`) so both the MILP and the
+heuristic apply the same headroom.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..stats import percentile
+
+__all__ = ["PercentilePredictor", "EpochStats", "usable_capacity", "DEFAULT_SAFETY_MARGIN_BPS"]
+
+#: The paper's example safety margin: 50 Mbps on 1 Gbps links (Fig. 2).
+DEFAULT_SAFETY_MARGIN_BPS = 50e6
+
+
+def usable_capacity(capacity_bps: float, safety_margin_bps: float = DEFAULT_SAFETY_MARGIN_BPS) -> float:
+    """Link capacity available to reserved flows after the safety margin.
+
+    Raises if the margin consumes the entire link — a misconfiguration
+    that would make every instance infeasible.
+    """
+    if capacity_bps <= 0:
+        raise ConfigurationError("capacity must be positive")
+    if safety_margin_bps < 0:
+        raise ConfigurationError("safety margin must be non-negative")
+    usable = capacity_bps - safety_margin_bps
+    if usable <= 0:
+        raise ConfigurationError(
+            f"safety margin {safety_margin_bps} leaves no usable capacity on a "
+            f"{capacity_bps} bit/s link"
+        )
+    return usable
+
+
+class PercentilePredictor:
+    """Predicts next-epoch demand as a percentile of recent samples.
+
+    Rate samples (bit/s) are fed in as they are observed (the SDN
+    controller polls flow counters every 2 s); :meth:`predict` returns
+    the chosen percentile over the last epoch's samples.
+
+    Parameters
+    ----------
+    q:
+        Percentile to use (default 90, per the paper).
+    window:
+        Number of most-recent samples forming "the last epoch".
+    """
+
+    def __init__(self, q: float = 90.0, window: int = 300):
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile q={q} outside [0, 100]")
+        if window <= 0:
+            raise ConfigurationError(f"window must be positive, got {window}")
+        self.q = q
+        self.window = window
+        self._samples: deque[float] = deque(maxlen=window)
+
+    def observe(self, rate_bps: float) -> None:
+        """Record one observed data-rate sample."""
+        if rate_bps < 0:
+            raise ConfigurationError(f"rate must be non-negative, got {rate_bps}")
+        self._samples.append(float(rate_bps))
+
+    def observe_many(self, rates_bps) -> None:
+        """Record a batch of observed data-rate samples."""
+        arr = np.asarray(rates_bps, dtype=float).ravel()
+        if np.any(arr < 0):
+            raise ConfigurationError("rates must be non-negative")
+        for r in arr:
+            self._samples.append(float(r))
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._samples)
+
+    def predict(self) -> float:
+        """Predicted next-epoch demand (bit/s).
+
+        Raises when no samples have been observed — consolidating on a
+        guessed demand is how flows end up on saturated links.
+        """
+        if not self._samples:
+            raise ConfigurationError("predict() before any observations")
+        return percentile(list(self._samples), self.q)
+
+    def reset(self) -> None:
+        """Drop history (e.g. after a flow is rerouted)."""
+        self._samples.clear()
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Aggregate per-epoch traffic statistics reported by the monitor."""
+
+    epoch: int
+    n_flows: int
+    total_demand_bps: float
+    peak_demand_bps: float
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0 or self.n_flows < 0:
+            raise ConfigurationError("epoch and n_flows must be non-negative")
+        if self.total_demand_bps < 0 or self.peak_demand_bps < 0:
+            raise ConfigurationError("demands must be non-negative")
+        if self.peak_demand_bps > self.total_demand_bps and self.n_flows > 0:
+            raise ConfigurationError("peak demand cannot exceed total demand")

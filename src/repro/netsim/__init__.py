@@ -1,0 +1,35 @@
+"""Flow-level network latency simulation (the Fig-1 knee model)."""
+
+from .latency import LinkLatencyModel, path_delay_mean, sample_path_delays
+from .network import FlowLatency, NetworkModel, Routing
+from .packetsim import PacketNetworkSimulator, PacketSimConfig, PacketSimResult
+from .tails import hop_delay_distribution, path_delay_distribution, path_quantile
+from .queueing import (
+    mg1_mean_wait,
+    mm1_mean_sojourn,
+    mm1_mean_wait,
+    mm1_sojourn_quantile,
+    mm1_utilization,
+    mm1_wait_ccdf,
+)
+
+__all__ = [
+    "LinkLatencyModel",
+    "path_delay_mean",
+    "sample_path_delays",
+    "PacketNetworkSimulator",
+    "PacketSimConfig",
+    "PacketSimResult",
+    "hop_delay_distribution",
+    "path_delay_distribution",
+    "path_quantile",
+    "NetworkModel",
+    "Routing",
+    "FlowLatency",
+    "mm1_utilization",
+    "mm1_mean_wait",
+    "mm1_mean_sojourn",
+    "mm1_wait_ccdf",
+    "mm1_sojourn_quantile",
+    "mg1_mean_wait",
+]

@@ -1,0 +1,234 @@
+"""Packet-level network simulator.
+
+The paper's evaluation platform is MiniNet — packets through real
+software-switch queues.  Our main network substrate is flow-level (the
+calibrated knee model in :mod:`repro.netsim.latency`); this module
+provides a packet-level discrete-event simulator of a routed topology
+so the flow-level model can be *validated* rather than trusted:
+
+* each directed link is a FIFO queue with finite buffer draining at
+  link rate;
+* latency-tolerant elephants inject bursty ON/OFF packet trains (the
+  burstiness that creates the Fig-1 knee);
+* latency-sensitive probes inject Poisson packets whose end-to-end
+  delays are recorded per flow.
+
+``tests/test_packetsim.py`` checks the packet simulator against M/M/1
+theory on a single link, and the validation experiment
+(``repro.experiments.validation``) compares its tail latencies against
+the flow-level model across utilizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..flows.flow import Flow
+from ..flows.traffic import TrafficSet
+from ..netsim.network import Routing
+from ..rng import ensure_rng, spawn
+from ..topology.graph import Topology
+
+__all__ = ["PacketSimConfig", "PacketSimResult", "PacketNetworkSimulator"]
+
+
+@dataclass(frozen=True)
+class PacketSimConfig:
+    """Packet-level simulation knobs.
+
+    Elephants transmit as ON/OFF bursts: during an ON period of
+    ``burst_on_s`` they send back-to-back at ``burst_rate_multiplier``
+    times their average rate, then stay silent so the long-run average
+    matches the flow demand.  ``buffer_packets`` bounds each link queue
+    (drops are counted, not retransmitted — the latency-sensitive
+    probes of interest are small enough that drops are rare below
+    saturation).
+    """
+
+    packet_bits: float = 12000.0
+    propagation_s: float = 5e-6
+    buffer_packets: int = 400
+    burst_on_s: float = 2e-3
+    burst_rate_multiplier: float = 8.0
+    duration_s: float = 2.0
+    warmup_s: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.packet_bits <= 0 or self.buffer_packets <= 0:
+            raise ConfigurationError("packet size and buffer must be positive")
+        if self.burst_rate_multiplier < 1.0:
+            raise ConfigurationError("burst multiplier must be >= 1")
+        if not 0.0 <= self.warmup_s < self.duration_s:
+            raise ConfigurationError("need 0 <= warmup < duration")
+
+
+@dataclass(frozen=True)
+class PacketSimResult:
+    """Per-flow delay samples plus loss accounting."""
+
+    flow_delays: dict[str, np.ndarray]
+    packets_sent: int
+    packets_dropped: int
+
+    @property
+    def drop_rate(self) -> float:
+        return self.packets_dropped / self.packets_sent if self.packets_sent else 0.0
+
+    def pooled_delays(self, flow_ids=None) -> np.ndarray:
+        ids = list(flow_ids) if flow_ids is not None else list(self.flow_delays)
+        arrays = [self.flow_delays[i] for i in ids if len(self.flow_delays[i])]
+        if not arrays:
+            raise ConfigurationError("no delay samples recorded")
+        return np.concatenate(arrays)
+
+
+class _Packet:
+    __slots__ = ("flow_id", "created", "hops", "hop_index", "record")
+
+    def __init__(self, flow_id: str, created: float, hops, record: bool):
+        self.flow_id = flow_id
+        self.created = created
+        self.hops = hops
+        self.hop_index = 0
+        self.record = record
+
+
+class _LinkQueue:
+    """One directed link: FIFO serialization at link rate."""
+
+    __slots__ = ("sim", "capacity_bps", "buffer", "queue", "busy_until")
+
+    def __init__(self, sim: "PacketNetworkSimulator", capacity_bps: float, buffer_packets: int):
+        self.sim = sim
+        self.capacity_bps = capacity_bps
+        self.buffer = buffer_packets
+        self.queue: list[_Packet] = []
+        self.busy_until = 0.0
+
+    def enqueue(self, packet: _Packet) -> None:
+        if len(self.queue) >= self.buffer:
+            self.sim.dropped += 1
+            return
+        self.queue.append(packet)
+        if len(self.queue) == 1:
+            self._start_service()
+
+    def _start_service(self) -> None:
+        tx = self.sim.config.packet_bits / self.capacity_bps
+        self.sim.loop.schedule_after(tx, self._finish_service)
+
+    def _finish_service(self) -> None:
+        packet = self.queue.pop(0)
+        self.sim.loop.schedule_after(
+            self.sim.config.propagation_s, lambda p=packet: self.sim.deliver(p)
+        )
+        if self.queue:
+            self._start_service()
+
+
+class PacketNetworkSimulator:
+    """Simulate routed traffic at packet granularity."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        traffic: TrafficSet,
+        routing: Routing,
+        config: PacketSimConfig | None = None,
+    ):
+        self.topology = topology
+        self.traffic = traffic
+        self.routing = routing
+        self.config = config or PacketSimConfig()
+        # Imported here rather than at module scope: repro.sim's package
+        # initializer reaches back into repro.netsim (via the cluster
+        # simulator's latency monitor), so a top-level import would be
+        # circular.
+        from ..sim.engine import EventLoop
+
+        self.loop = EventLoop()
+        self.dropped = 0
+        self.sent = 0
+        self._delays: dict[str, list[float]] = {}
+        self._links: dict[tuple[str, str], _LinkQueue] = {}
+        for flow in traffic:
+            if flow.flow_id not in routing:
+                raise ConfigurationError(f"flow {flow.flow_id!r} has no route")
+        rng = ensure_rng(self.config.seed)
+        self._flow_rngs = dict(zip((f.flow_id for f in traffic), spawn(rng, len(traffic))))
+
+    def _link(self, u: str, v: str) -> _LinkQueue:
+        key = (u, v)
+        link = self._links.get(key)
+        if link is None:
+            link = _LinkQueue(
+                self, self.topology.capacity(u, v), self.config.buffer_packets
+            )
+            self._links[key] = link
+        return link
+
+    # -- packet movement -----------------------------------------------------------
+
+    def _inject(self, flow: Flow, record: bool) -> None:
+        hops = self.routing.directed_links(flow.flow_id)
+        packet = _Packet(flow.flow_id, self.loop.now, hops, record)
+        self.sent += 1
+        self._link(*hops[0]).enqueue(packet)
+
+    def deliver(self, packet: _Packet) -> None:
+        packet.hop_index += 1
+        if packet.hop_index >= len(packet.hops):
+            if packet.record and packet.created >= self.config.warmup_s:
+                self._delays[packet.flow_id].append(self.loop.now - packet.created)
+            return
+        self._link(*packet.hops[packet.hop_index]).enqueue(packet)
+
+    # -- traffic sources -------------------------------------------------------------
+
+    def _schedule_poisson_source(self, flow: Flow) -> None:
+        rng = self._flow_rngs[flow.flow_id]
+        rate_pps = flow.demand_bps / self.config.packet_bits
+
+        def fire() -> None:
+            self._inject(flow, record=True)
+            self.loop.schedule_after(float(rng.exponential(1.0 / rate_pps)), fire)
+
+        self.loop.schedule_after(float(rng.exponential(1.0 / rate_pps)), fire)
+
+    def _schedule_burst_source(self, flow: Flow) -> None:
+        cfg = self.config
+        rng = self._flow_rngs[flow.flow_id]
+        on_rate_pps = flow.demand_bps * cfg.burst_rate_multiplier / cfg.packet_bits
+        duty = 1.0 / cfg.burst_rate_multiplier
+        mean_off = cfg.burst_on_s * (1.0 - duty) / duty
+
+        def start_burst() -> None:
+            n_packets = max(1, int(round(on_rate_pps * cfg.burst_on_s)))
+            gap = 1.0 / on_rate_pps
+            for i in range(n_packets):
+                self.loop.schedule_after(i * gap, lambda f=flow: self._inject(f, record=False))
+            off = float(rng.exponential(mean_off)) if mean_off > 0 else 0.0
+            self.loop.schedule_after(n_packets * gap + off, start_burst)
+
+        self.loop.schedule_after(float(rng.uniform(0.0, cfg.burst_on_s)), start_burst)
+
+    # -- run ----------------------------------------------------------------------------
+
+    def run(self) -> PacketSimResult:
+        """Simulate the configured duration and collect per-flow delays."""
+        for flow in self.traffic:
+            if flow.is_latency_sensitive:
+                self._delays[flow.flow_id] = []
+                self._schedule_poisson_source(flow)
+            else:
+                self._schedule_burst_source(flow)
+        self.loop.run_until(self.config.duration_s)
+        return PacketSimResult(
+            flow_delays={k: np.asarray(v) for k, v in self._delays.items()},
+            packets_sent=self.sent,
+            packets_dropped=self.dropped,
+        )

@@ -1,0 +1,104 @@
+"""Classical queueing formulas.
+
+These closed forms serve two roles: they are the analytic substrate of
+the link-latency model (:mod:`repro.netsim.latency`), and they provide
+ground truth for validating the discrete-event simulator (an M/M/1 run
+of the DES must converge to these values — see the integration tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "mm1_utilization",
+    "mm1_mean_wait",
+    "mm1_mean_sojourn",
+    "mm1_wait_ccdf",
+    "mm1_sojourn_quantile",
+    "mg1_mean_wait",
+]
+
+
+def _check_rates(arrival_rate: float, service_rate: float) -> None:
+    if arrival_rate < 0:
+        raise ConfigurationError(f"arrival rate must be non-negative, got {arrival_rate}")
+    if service_rate <= 0:
+        raise ConfigurationError(f"service rate must be positive, got {service_rate}")
+
+
+def mm1_utilization(arrival_rate: float, service_rate: float) -> float:
+    """Offered load rho = lambda / mu."""
+    _check_rates(arrival_rate, service_rate)
+    return arrival_rate / service_rate
+
+
+def mm1_mean_wait(arrival_rate: float, service_rate: float) -> float:
+    """Mean time in queue (excluding service) for a stable M/M/1.
+
+    ``W_q = rho / (mu - lambda)``.  Raises for rho >= 1 (unstable).
+    """
+    rho = mm1_utilization(arrival_rate, service_rate)
+    if rho >= 1.0:
+        raise ConfigurationError(f"M/M/1 unstable at rho={rho:.3f}")
+    return rho / (service_rate - arrival_rate)
+
+
+def mm1_mean_sojourn(arrival_rate: float, service_rate: float) -> float:
+    """Mean time in system (wait + service): ``1 / (mu - lambda)``."""
+    rho = mm1_utilization(arrival_rate, service_rate)
+    if rho >= 1.0:
+        raise ConfigurationError(f"M/M/1 unstable at rho={rho:.3f}")
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mm1_wait_ccdf(t, arrival_rate: float, service_rate: float):
+    """P(W_q > t) for M/M/1: ``rho * exp(-(mu - lambda) t)``.
+
+    Vectorized over ``t``; returns an array of the same shape.
+    """
+    rho = mm1_utilization(arrival_rate, service_rate)
+    if rho >= 1.0:
+        raise ConfigurationError(f"M/M/1 unstable at rho={rho:.3f}")
+    t_arr = np.asarray(t, dtype=float)
+    if np.any(t_arr < 0):
+        raise ConfigurationError("time must be non-negative")
+    return rho * np.exp(-(service_rate - arrival_rate) * t_arr)
+
+
+def mm1_sojourn_quantile(q: float, arrival_rate: float, service_rate: float) -> float:
+    """The ``q``-quantile (0 < q < 1) of the M/M/1 sojourn time.
+
+    Sojourn time is Exp(mu - lambda), so the quantile is
+    ``-ln(1 - q) / (mu - lambda)``.  Used to validate tail latencies
+    produced by the DES.
+    """
+    if not 0.0 < q < 1.0:
+        raise ConfigurationError(f"quantile q={q} outside (0, 1)")
+    rho = mm1_utilization(arrival_rate, service_rate)
+    if rho >= 1.0:
+        raise ConfigurationError(f"M/M/1 unstable at rho={rho:.3f}")
+    return -np.log(1.0 - q) / (service_rate - arrival_rate)
+
+
+def mg1_mean_wait(arrival_rate: float, mean_service: float, service_scv: float) -> float:
+    """Pollaczek–Khinchine mean wait for M/G/1.
+
+    ``W_q = rho * (1 + c_s^2) / 2 * mean_service / (1 - rho)``, where
+    ``c_s^2`` (``service_scv``) is the squared coefficient of variation
+    of the service time.  The empirical search service-time
+    distribution has ``c_s^2 > 1``, which is why tail latencies blow up
+    faster than an M/M/1 would predict.
+    """
+    if mean_service <= 0:
+        raise ConfigurationError("mean service time must be positive")
+    if service_scv < 0:
+        raise ConfigurationError("squared CV must be non-negative")
+    rho = arrival_rate * mean_service
+    if arrival_rate < 0:
+        raise ConfigurationError("arrival rate must be non-negative")
+    if rho >= 1.0:
+        raise ConfigurationError(f"M/G/1 unstable at rho={rho:.3f}")
+    return rho * (1.0 + service_scv) / 2.0 * mean_service / (1.0 - rho)

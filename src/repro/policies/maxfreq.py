@@ -1,0 +1,27 @@
+"""No-power-management baseline: always run at the maximum frequency.
+
+The "no power management" line of Fig. 12/13/15 — the strictest
+latency behaviour and the highest power.  Cores still idle at idle
+power when the queue is empty (there is no request to burn cycles on),
+which is how the paper's simulator accounts for it as well.
+"""
+
+from __future__ import annotations
+
+from .base import Governor, QueueSnapshot
+
+__all__ = ["MaxFrequencyGovernor"]
+
+
+class MaxFrequencyGovernor(Governor):
+    """Pin the core at ``f_max`` whenever it is serving."""
+
+    name = "max-frequency"
+    network_aware = False
+    reorders_queue = False
+
+    def __init__(self, ladder):
+        self.ladder = ladder
+
+    def select_frequency(self, snapshot: QueueSnapshot) -> float:
+        return self.ladder.f_max

@@ -1,0 +1,66 @@
+"""Clairvoyant oracle governor — the energy-saving lower bound.
+
+No deployable scheme can know a request's service demand before running
+it; EPRONS-Server and Rubik work from the demand *distribution*.  The
+oracle reads the true remaining work of everything in the queue (the
+``actual_remaining_works`` side channel of the snapshot) and selects
+the minimum frequency that finishes every request exactly by its
+deadline.  The gap between EPRONS-Server and this oracle quantifies how
+much saving is left on the table by distributional uncertainty — the
+ablation DESIGN.md calls out.
+
+Frequency selection: with the proportional frequency-independent part
+(:mod:`repro.server.freqmodel`), request *i* (EDF order) finishes on
+time iff ``speed_factor(f) <= (D_i - now) / S_i`` where ``S_i`` is the
+cumulative true work through *i*.  The binding request gives the
+minimal feasible speed factor, which inverts to a frequency in closed
+form; the result is clamped up to the next ladder step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..server.dvfs import FrequencyLadder
+from ..server.freqmodel import FrequencyModel
+from .base import Governor, QueueSnapshot
+
+__all__ = ["OracleGovernor"]
+
+
+class OracleGovernor(Governor):
+    """Clairvoyant just-in-time DVFS (not deployable; lower bound)."""
+
+    name = "oracle"
+    network_aware = True
+    reorders_queue = True  # EDF, like EPRONS-Server
+
+    def __init__(self, frequency_model: FrequencyModel, ladder: FrequencyLadder):
+        self.frequency_model = frequency_model
+        self.ladder = ladder
+
+    def select_frequency(self, snapshot: QueueSnapshot) -> float:
+        works = np.asarray(snapshot.actual_remaining_works, dtype=float)
+        if works.size == 0:
+            return self.ladder.f_min
+        deadlines = []
+        if snapshot.in_service_deadline is not None:
+            deadlines.append(snapshot.in_service_deadline)
+        deadlines.extend(snapshot.queued_deadlines)
+        budgets = np.asarray(deadlines, dtype=float) - snapshot.now
+        cumulative = np.cumsum(works)
+
+        # Feasible speed factors per request; non-positive budgets mean
+        # the deadline is already blown — run flat out.
+        if np.any(budgets <= 0):
+            return self.ladder.f_max
+        max_speed = float(np.min(budgets / cumulative))
+        model = self.frequency_model
+        phi = model.independent_fraction
+        if max_speed <= phi:
+            # Even infinite frequency cannot meet the binding deadline
+            # (the frequency-independent part alone overruns it).
+            return self.ladder.f_max
+        # Invert speed_factor(f) = (1-phi) f_ref / f + phi.
+        f_exact = (1.0 - phi) * model.f_ref_hz / (max_speed - phi)
+        return self.ladder.clamp(f_exact)

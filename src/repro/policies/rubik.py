@@ -1,0 +1,54 @@
+"""Rubik and Rubik+ baselines [10].
+
+Rubik (MICRO'15) picks, at every arrival/departure instance, the lowest
+frequency at which *every* queued request's deadline-violation
+probability stays within the SLA — i.e. it constrains the **maximum**
+VP.  The frequency is therefore dictated by the single limiting
+request, and everything else finishes early (the inefficiency Fig. 4
+illustrates).
+
+* **Rubik** is network-oblivious: it assumes the fixed server budget
+  (``network_aware = False`` — the simulator gives it
+  ``arrival + server_budget`` deadlines).
+* **Rubik+** is the paper's network-aware variant built for a fair
+  comparison: identical policy, but the per-request measured network
+  slack is folded into the deadlines it sees.
+"""
+
+from __future__ import annotations
+
+from ..server.distributions import ConvolutionCache
+from .base import QueueSnapshot, VPGovernor
+from .vp_common import EquivalentQueue
+
+__all__ = ["RubikGovernor", "RubikPlusGovernor"]
+
+
+class RubikGovernor(VPGovernor):
+    """Max-VP (limiting request) frequency selection; network-oblivious."""
+
+    name = "rubik"
+    network_aware = False
+    reorders_queue = False
+
+    def __init__(self, service_model, ladder, target_vp: float = 0.05):
+        super().__init__(service_model, ladder, target_vp)
+        self._cache = ConvolutionCache(service_model.distribution)
+
+    def select_frequency(self, snapshot: QueueSnapshot) -> float:
+        if snapshot.n_requests == 0:
+            return self.ladder.f_min
+        eq = EquivalentQueue(snapshot, self.service_model, self._cache)
+        chosen = self.ladder.lowest_satisfying(
+            lambda f: eq.max_vp(f) <= self.target_vp
+        )
+        # If even f_max cannot hold every request within the SLA, run
+        # flat out — the least-bad option (Rubik does the same).
+        return chosen if chosen is not None else self.ladder.f_max
+
+
+class RubikPlusGovernor(RubikGovernor):
+    """Rubik with per-request network slack folded into deadlines."""
+
+    name = "rubik+"
+    network_aware = True

@@ -1,0 +1,25 @@
+"""EPRONS-Server ablation variants.
+
+EPRONS-Server differs from Rubik+ by two ingredients (Section V-B2):
+the **average**-VP rule (instead of max-VP) and **deadline reordering**
+(EDF).  These variants isolate each ingredient so the ablation
+experiment can attribute the savings:
+
+* :class:`EpronsNoReorderGovernor` — average VP, FIFO queue;
+* Rubik+ (in :mod:`repro.policies.rubik`) — max VP, FIFO queue;
+* the full :class:`~repro.policies.eprons_server.EpronsServerGovernor`
+  — average VP, EDF.
+"""
+
+from __future__ import annotations
+
+from .eprons_server import EpronsServerGovernor
+
+__all__ = ["EpronsNoReorderGovernor"]
+
+
+class EpronsNoReorderGovernor(EpronsServerGovernor):
+    """EPRONS-Server without the EDF queue reordering."""
+
+    name = "eprons-noreorder"
+    reorders_queue = False

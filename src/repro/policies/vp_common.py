@@ -1,0 +1,105 @@
+"""Equivalent-distribution computation shared by model-based governors.
+
+Implements Section III-B: at a decision instant the scheduler forms,
+for every request in the system, its *equivalent request* — the
+convolution of the in-service request's conditional remaining work with
+the work of everything queued ahead — and evaluates each equivalent
+distribution's CCDF at the frequency-dependent work budget ω(D).
+
+Performance note (the Section III-C concern): rather than convolving
+the conditional head distribution with ``base^k`` at every decision
+instant, we evaluate the equivalent CCDF as a mixture::
+
+    P[R + S_k > x] = sum_i  P[R = v_i] * CCDF_{S_k}(x - v_i)
+
+``S_k`` (the k-fold self-convolution of the service distribution) is
+memoized in a :class:`~repro.server.distributions.ConvolutionCache`
+shared for the governor's lifetime, so the per-event cost is a handful
+of vectorized dot products instead of an FFT per queued request.  The
+result is numerically identical to the explicit convolution on the
+same grid (see the unit tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..server.distributions import ConvolutionCache, WorkDistribution
+from ..server.service import ServiceModel
+from .base import QueueSnapshot
+
+__all__ = ["EquivalentQueue"]
+
+
+class EquivalentQueue:
+    """Equivalent distributions + deadlines for one queue snapshot.
+
+    Built once per decision instant; :meth:`violation_probabilities`
+    can then be evaluated cheaply at several candidate frequencies (the
+    governors binary-search the ladder).
+    """
+
+    def __init__(
+        self,
+        snapshot: QueueSnapshot,
+        service_model: ServiceModel,
+        cache: ConvolutionCache,
+    ):
+        self.snapshot = snapshot
+        self.service_model = service_model
+        self._cache = cache
+        base = service_model.distribution
+
+        deadlines: list[float] = []
+        ks: list[int] = []
+        if snapshot.in_service_deadline is not None:
+            head = base.conditional_remaining(snapshot.in_service_completed_work or 0.0)
+            deadlines.append(snapshot.in_service_deadline)
+            ks.append(0)
+            k0 = 1
+        else:
+            head = WorkDistribution.point_mass(base.dx, 0.0)
+            k0 = 1
+        for offset, deadline in enumerate(snapshot.queued_deadlines):
+            deadlines.append(deadline)
+            ks.append(k0 + offset)
+        self.head = head
+        self._head_values = head.values
+        self.ks = ks
+        self.deadlines = np.asarray(deadlines, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.ks)
+
+    def equivalent_distribution(self, index: int) -> WorkDistribution:
+        """The explicit equivalent distribution of the ``index``-th
+        request (used by tests/plots; governors use the mixture form)."""
+        return self._cache.equivalent(self.head, self.ks[index])
+
+    def violation_probabilities(self, frequency_hz: float) -> np.ndarray:
+        """Per-request deadline-violation probability at ``frequency_hz``.
+
+        ``VP_i = CCDF_{E_i}( (D_i - now) / speed_factor(f) )`` — Eq. (1)
+        combined with the equivalent distribution (Fig. 5's lookup).
+        """
+        speed = self.service_model.frequency_model.speed_factor(frequency_hz)
+        budgets = (self.deadlines - self.snapshot.now) / speed
+        out = np.empty(len(self.ks))
+        for i, (k, budget) in enumerate(zip(self.ks, budgets)):
+            if k == 0:
+                out[i] = self.head.ccdf(budget)
+            else:
+                tail = self._cache.power(k).ccdf_many(budget - self._head_values)
+                out[i] = float(np.dot(self.head.pmf, tail))
+        return out
+
+    def max_vp(self, frequency_hz: float) -> float:
+        """The limiting request's VP (what Rubik constrains)."""
+        vps = self.violation_probabilities(frequency_hz)
+        return float(vps.max()) if vps.size else 0.0
+
+    def average_vp(self, frequency_hz: float) -> float:
+        """The average VP over queued requests (what EPRONS-Server
+        constrains — Section III-A's key relaxation)."""
+        vps = self.violation_probabilities(frequency_hz)
+        return float(vps.mean()) if vps.size else 0.0

@@ -1,0 +1,31 @@
+"""Power models and energy accounting (paper Section V-A constants)."""
+
+from .meter import EnergyMeter, PowerBreakdown
+from .sleep import POWERNAP_SLEEP, SleepStateModel
+from .models import (
+    DEFAULT_CORE_POWER,
+    DEFAULT_LINK_POWER,
+    DEFAULT_SERVER_POWER,
+    DEFAULT_SWITCH_POWER,
+    CorePowerModel,
+    HPESwitchPowerModel,
+    LinkPowerModel,
+    ServerPowerModel,
+    SwitchPowerModel,
+)
+
+__all__ = [
+    "CorePowerModel",
+    "ServerPowerModel",
+    "SwitchPowerModel",
+    "HPESwitchPowerModel",
+    "LinkPowerModel",
+    "EnergyMeter",
+    "PowerBreakdown",
+    "SleepStateModel",
+    "POWERNAP_SLEEP",
+    "DEFAULT_CORE_POWER",
+    "DEFAULT_SERVER_POWER",
+    "DEFAULT_SWITCH_POWER",
+    "DEFAULT_LINK_POWER",
+]

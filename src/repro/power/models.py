@@ -1,0 +1,241 @@
+"""Power models for switches, links, CPU cores and servers.
+
+All constants trace back to measurements reported in the paper:
+
+* **Core power** — a 12-core Xeon E5-2697 v2 measured at 1.4 W per core
+  at the minimum frequency (1.2 GHz) and 4.4 W at the maximum (2.7 GHz)
+  (Section V-A).  We fit ``P(f) = static + alpha * f^3`` through those
+  two endpoints, the standard CMOS dynamic-power shape.
+* **Server static power** — 20 W (motherboard, memory, ...) based on
+  the Huawei XH320 V2 dynamic/static ratio [22].
+* **Switch power** — the paper measures an HPE E3800 J9574A at 97.5 W
+  idle with at most +0.59 W from 0 to 100 % link utilization (Fig. 8),
+  i.e. utilization-independent, and uses the 36 W 4-port switch from
+  [23] for the scaled-up power results (Fig. 13/15).  Both models are
+  provided; the flat 36 W model is the default in experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import GHZ
+
+__all__ = [
+    "CorePowerModel",
+    "ServerPowerModel",
+    "SwitchPowerModel",
+    "HPESwitchPowerModel",
+    "LinkPowerModel",
+    "DEFAULT_CORE_POWER",
+    "DEFAULT_SERVER_POWER",
+    "DEFAULT_SWITCH_POWER",
+    "DEFAULT_LINK_POWER",
+]
+
+
+@dataclass(frozen=True)
+class CorePowerModel:
+    """Per-core CPU power as a function of operating frequency.
+
+    ``P_active(f) = static_watts + alpha * (f / 1 GHz)**3``
+
+    Parameters
+    ----------
+    static_watts:
+        Frequency-independent component of the *active* core power.
+    alpha:
+        Coefficient of the cubic dynamic term, in Watts per GHz^3.
+    idle_watts:
+        Power drawn by a core with an empty queue (shallow idle; the
+        paper's servers do not use deep sleep states, DVFS only).
+    """
+
+    static_watts: float = 1.111
+    alpha: float = 0.1671
+    idle_watts: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.static_watts < 0 or self.alpha < 0 or self.idle_watts < 0:
+            raise ConfigurationError("core power parameters must be non-negative")
+
+    def active_power(self, frequency_hz: float) -> float:
+        """Power (W) of a core actively processing at ``frequency_hz``."""
+        if frequency_hz <= 0:
+            raise ConfigurationError(f"frequency must be positive, got {frequency_hz}")
+        f_ghz = frequency_hz / GHZ
+        return self.static_watts + self.alpha * f_ghz**3
+
+    def active_power_array(self, frequencies_hz) -> np.ndarray:
+        """Vectorized :meth:`active_power` over an array of frequencies."""
+        f = np.asarray(frequencies_hz, dtype=float)
+        if np.any(f <= 0):
+            raise ConfigurationError("frequencies must be positive")
+        return self.static_watts + self.alpha * (f / GHZ) ** 3
+
+    def energy(self, frequency_hz: float, busy_seconds: float, idle_seconds: float = 0.0) -> float:
+        """Energy (J) for ``busy_seconds`` active at ``frequency_hz``
+        plus ``idle_seconds`` idle."""
+        if busy_seconds < 0 or idle_seconds < 0:
+            raise ConfigurationError("durations must be non-negative")
+        return self.active_power(frequency_hz) * busy_seconds + self.idle_watts * idle_seconds
+
+    @classmethod
+    def from_endpoints(
+        cls,
+        f_min_hz: float,
+        p_min_watts: float,
+        f_max_hz: float,
+        p_max_watts: float,
+        idle_watts: float = 1.0,
+    ) -> "CorePowerModel":
+        """Fit ``static + alpha f^3`` exactly through two measured points.
+
+        The defaults of this class are ``from_endpoints(1.2 GHz, 1.4 W,
+        2.7 GHz, 4.4 W)`` — the paper's Xeon E5-2697 v2 measurements.
+        """
+        if f_max_hz <= f_min_hz:
+            raise ConfigurationError("f_max must exceed f_min")
+        if p_max_watts <= p_min_watts:
+            raise ConfigurationError("p_max must exceed p_min")
+        lo = (f_min_hz / GHZ) ** 3
+        hi = (f_max_hz / GHZ) ** 3
+        alpha = (p_max_watts - p_min_watts) / (hi - lo)
+        static = p_min_watts - alpha * lo
+        if static < 0:
+            raise ConfigurationError(
+                "endpoint fit produced negative static power; measurements "
+                "are inconsistent with a cubic dynamic-power model"
+            )
+        return cls(static_watts=static, alpha=alpha, idle_watts=idle_watts)
+
+
+@dataclass(frozen=True)
+class ServerPowerModel:
+    """Whole-server power: static platform power plus per-core power.
+
+    The paper's simulated servers have a 12-core CPU and 20 W of static
+    (non-CPU) power.
+    """
+
+    core_model: CorePowerModel = field(default_factory=CorePowerModel)
+    n_cores: int = 12
+    static_watts: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ConfigurationError(f"n_cores must be positive, got {self.n_cores}")
+        if self.static_watts < 0:
+            raise ConfigurationError("static_watts must be non-negative")
+
+    @property
+    def peak_watts(self) -> float:
+        """Server power with every core active at the fitted model's
+        power at 2.7 GHz (informational upper bound)."""
+        return self.static_watts + self.n_cores * self.core_model.active_power(2.7 * GHZ)
+
+    def cpu_power(self, per_core_busy_fraction, per_core_frequency_hz) -> float:
+        """Average CPU package power (W), excluding platform static power.
+
+        Parameters are arrays of length ``n_cores``: the fraction of
+        time each core was busy and the (average) frequency it ran at
+        while busy.
+        """
+        busy = np.asarray(per_core_busy_fraction, dtype=float)
+        freq = np.asarray(per_core_frequency_hz, dtype=float)
+        if busy.shape != (self.n_cores,) or freq.shape != (self.n_cores,):
+            raise ConfigurationError(
+                f"expected arrays of shape ({self.n_cores},), got {busy.shape} and {freq.shape}"
+            )
+        if np.any((busy < 0) | (busy > 1)):
+            raise ConfigurationError("busy fractions must lie in [0, 1]")
+        active = self.core_model.active_power_array(freq)
+        return float(np.sum(busy * active + (1.0 - busy) * self.core_model.idle_watts))
+
+    def total_power(self, per_core_busy_fraction, per_core_frequency_hz) -> float:
+        """Average whole-server power (W) including static power."""
+        return self.static_watts + self.cpu_power(per_core_busy_fraction, per_core_frequency_hz)
+
+
+@dataclass(frozen=True)
+class SwitchPowerModel:
+    """Utilization-independent switch power (the paper's default).
+
+    Fig. 8 shows the HPE E3800 draws essentially constant power
+    regardless of utilization, so the model is a constant ``active``
+    draw and a (near-zero) ``sleep`` draw when consolidated off.
+    """
+
+    active_watts: float = 36.0
+    sleep_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.active_watts < 0 or self.sleep_watts < 0:
+            raise ConfigurationError("switch power must be non-negative")
+        if self.sleep_watts > self.active_watts:
+            raise ConfigurationError("sleep power cannot exceed active power")
+
+    def power(self, is_on: bool, utilization: float = 0.0) -> float:
+        """Power (W) of one switch; ``utilization`` is accepted for API
+        symmetry with :class:`HPESwitchPowerModel` but ignored."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError(f"utilization {utilization} outside [0, 1]")
+        return self.active_watts if is_on else self.sleep_watts
+
+
+@dataclass(frozen=True)
+class HPESwitchPowerModel:
+    """The measured HPE E3800 J9574A model behind Fig. 8.
+
+    Idle draw is 97.5 W; moving link utilization from 0 to 100 % adds at
+    most ``delta_watts`` (0.59 W measured — 0.6 % of idle).  Activating
+    ports in duplex vs simplex made no measurable difference, so the
+    model exposes only total utilization.
+    """
+
+    idle_watts: float = 97.5
+    delta_watts: float = 0.59
+    sleep_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0 or self.delta_watts < 0 or self.sleep_watts < 0:
+            raise ConfigurationError("switch power must be non-negative")
+
+    def power(self, is_on: bool, utilization: float = 0.0) -> float:
+        """Power (W) at the given aggregate link ``utilization`` in [0, 1]."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError(f"utilization {utilization} outside [0, 1]")
+        if not is_on:
+            return self.sleep_watts
+        return self.idle_watts + self.delta_watts * utilization
+
+
+@dataclass(frozen=True)
+class LinkPowerModel:
+    """Per-link (port pair) power.
+
+    The LP objective (Eq. 2) has an explicit per-link power term
+    ``l(u, v)``.  Port transceivers draw on the order of 1 W per end;
+    the default charges 1 W per active link, 0 when down.
+    """
+
+    active_watts: float = 1.0
+    sleep_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.active_watts < 0 or self.sleep_watts < 0:
+            raise ConfigurationError("link power must be non-negative")
+
+    def power(self, is_on: bool) -> float:
+        """Power (W) of one link."""
+        return self.active_watts if is_on else self.sleep_watts
+
+
+#: Module-level defaults matching the paper's constants.
+DEFAULT_CORE_POWER = CorePowerModel()
+DEFAULT_SERVER_POWER = ServerPowerModel()
+DEFAULT_SWITCH_POWER = SwitchPowerModel()
+DEFAULT_LINK_POWER = LinkPowerModel()

@@ -1,0 +1,16 @@
+"""Server-side substrate: DVFS ladder, frequency model, work distributions."""
+
+from .distributions import ConvolutionCache, WorkDistribution
+from .dvfs import XEON_LADDER, FrequencyLadder
+from .freqmodel import FrequencyModel
+from .service import ServiceModel, default_service_model
+
+__all__ = [
+    "FrequencyLadder",
+    "XEON_LADDER",
+    "FrequencyModel",
+    "WorkDistribution",
+    "ConvolutionCache",
+    "ServiceModel",
+    "default_service_model",
+]

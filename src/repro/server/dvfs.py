@@ -1,0 +1,119 @@
+"""DVFS frequency ladder.
+
+The paper's servers expose 1.2–2.7 GHz in 100 MHz steps (16 settings,
+Section V-A).  :class:`FrequencyLadder` is an immutable, sorted set of
+frequencies with helpers for the binary searches the governors run
+("lowest frequency whose violation probability meets the target").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import GHZ, MHZ
+
+__all__ = ["FrequencyLadder", "XEON_LADDER"]
+
+
+class FrequencyLadder:
+    """An immutable ascending ladder of available core frequencies (Hz)."""
+
+    def __init__(self, frequencies_hz):
+        freqs = sorted(float(f) for f in frequencies_hz)
+        if not freqs:
+            raise ConfigurationError("frequency ladder must be non-empty")
+        if freqs[0] <= 0:
+            raise ConfigurationError("frequencies must be positive")
+        if len(set(freqs)) != len(freqs):
+            raise ConfigurationError("frequency ladder contains duplicates")
+        self._freqs = np.array(freqs)
+
+    @classmethod
+    def from_range(
+        cls, f_min_hz: float, f_max_hz: float, step_hz: float = 100 * MHZ
+    ) -> "FrequencyLadder":
+        """Inclusive ladder from ``f_min`` to ``f_max`` in ``step`` increments."""
+        if step_hz <= 0:
+            raise ConfigurationError("step must be positive")
+        if f_max_hz < f_min_hz:
+            raise ConfigurationError("f_max must be >= f_min")
+        n = int(round((f_max_hz - f_min_hz) / step_hz)) + 1
+        freqs = f_min_hz + step_hz * np.arange(n)
+        freqs = freqs[freqs <= f_max_hz * (1 + 1e-12)]
+        return cls(freqs)
+
+    def __len__(self) -> int:
+        return len(self._freqs)
+
+    def __getitem__(self, i: int) -> float:
+        return float(self._freqs[i])
+
+    def __iter__(self):
+        return iter(float(f) for f in self._freqs)
+
+    def __contains__(self, f: float) -> bool:
+        return bool(np.any(np.isclose(self._freqs, f, rtol=1e-12)))
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """All frequencies (Hz), ascending (copy)."""
+        return self._freqs.copy()
+
+    @property
+    def f_min(self) -> float:
+        return float(self._freqs[0])
+
+    @property
+    def f_max(self) -> float:
+        return float(self._freqs[-1])
+
+    def index_of(self, frequency_hz: float) -> int:
+        """Index of an exact ladder frequency; raises if absent."""
+        matches = np.nonzero(np.isclose(self._freqs, frequency_hz, rtol=1e-12))[0]
+        if matches.size == 0:
+            raise ConfigurationError(f"{frequency_hz} Hz is not on the ladder")
+        return int(matches[0])
+
+    def clamp(self, frequency_hz: float) -> float:
+        """The nearest ladder frequency at or above ``frequency_hz``
+        (``f_max`` if above the ladder)."""
+        if frequency_hz <= self.f_min:
+            return self.f_min
+        i = int(np.searchsorted(self._freqs, frequency_hz, side="left"))
+        if i >= len(self._freqs):
+            return self.f_max
+        return float(self._freqs[i])
+
+    def step_up(self, frequency_hz: float, steps: int = 1) -> float:
+        """The ladder frequency ``steps`` above the given one (saturates)."""
+        i = self.index_of(frequency_hz)
+        return float(self._freqs[min(i + steps, len(self._freqs) - 1)])
+
+    def step_down(self, frequency_hz: float, steps: int = 1) -> float:
+        """The ladder frequency ``steps`` below the given one (saturates)."""
+        i = self.index_of(frequency_hz)
+        return float(self._freqs[max(i - steps, 0)])
+
+    def lowest_satisfying(self, predicate) -> float | None:
+        """Binary-search the lowest frequency where ``predicate(f)`` holds.
+
+        Requires ``predicate`` to be monotone (False...False True...True
+        in ascending frequency) — true for violation-probability
+        thresholds, since running faster never increases VP.  Returns
+        ``None`` when even ``f_max`` fails.
+        """
+        lo, hi = 0, len(self._freqs) - 1
+        if not predicate(float(self._freqs[hi])):
+            return None
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if predicate(float(self._freqs[mid])):
+                hi = mid
+            else:
+                lo = mid + 1
+        return float(self._freqs[lo])
+
+
+#: The paper's ladder: 1.2–2.7 GHz in 100 MHz steps (Xeon E5-2697 v2).
+XEON_LADDER = FrequencyLadder.from_range(1.2 * GHZ, 2.7 * GHZ, 100 * MHZ)

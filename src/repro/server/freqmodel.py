@@ -1,0 +1,95 @@
+"""Frequency→service-time model (Rubik's "frequency independent part").
+
+The paper's footnote 1 adopts Rubik's refinement: request service time
+does not scale purely with 1/f because part of the execution (memory
+stalls, I/O) is frequency independent.  We model a request's size as
+*reference work* ``w`` — its service time at the reference (maximum)
+frequency — of which a fraction ``phi`` does not scale::
+
+    t(w, f) = w * [ (1 - phi) * f_ref / f  +  phi ]  =  w * speed_factor(f)
+
+Keeping the frequency-independent part *proportional* to the work makes
+every request's service time a common multiple of its work, so queued
+work distributions can be convolved once on the work axis and a change
+of frequency only rescales the deadline threshold::
+
+    P[violation] = P[ sum_j w_j > (D - t_start) / speed_factor(f) ]
+
+This is the algebra that makes EPRONS-Server's per-event binary search
+cheap (Section III-B/C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import GHZ
+
+__all__ = ["FrequencyModel"]
+
+
+@dataclass(frozen=True)
+class FrequencyModel:
+    """Maps reference work to service time at any ladder frequency.
+
+    Parameters
+    ----------
+    f_ref_hz:
+        Reference frequency at which work is expressed (the maximum
+        ladder frequency, 2.7 GHz by default).
+    independent_fraction:
+        ``phi``: fraction of execution that does not scale with
+        frequency.  0 = perfectly frequency-scalable; Rubik reports
+        search workloads around 0.2.
+    """
+
+    f_ref_hz: float = 2.7 * GHZ
+    independent_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.f_ref_hz <= 0:
+            raise ConfigurationError("reference frequency must be positive")
+        if not 0.0 <= self.independent_fraction < 1.0:
+            raise ConfigurationError(
+                f"independent fraction must lie in [0, 1), got {self.independent_fraction}"
+            )
+
+    def speed_factor(self, frequency_hz: float) -> float:
+        """Service-time multiplier at ``frequency_hz`` (1.0 at f_ref).
+
+        Always >= 1 for frequencies at or below the reference.
+        """
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        phi = self.independent_fraction
+        return (1.0 - phi) * self.f_ref_hz / frequency_hz + phi
+
+    def service_time(self, work_ref_s: float, frequency_hz: float) -> float:
+        """Wall-clock service time of ``work_ref_s`` at ``frequency_hz``."""
+        if work_ref_s < 0:
+            raise ConfigurationError("work must be non-negative")
+        return work_ref_s * self.speed_factor(frequency_hz)
+
+    def work_completed(self, elapsed_s: float, frequency_hz: float) -> float:
+        """Reference work retired in ``elapsed_s`` at ``frequency_hz``."""
+        if elapsed_s < 0:
+            raise ConfigurationError("elapsed time must be non-negative")
+        return elapsed_s / self.speed_factor(frequency_hz)
+
+    def work_budget(self, time_budget_s: float, frequency_hz: float) -> float:
+        """ω(D) of Eq. (1): the reference work completable in
+        ``time_budget_s`` at ``frequency_hz`` (zero for negative budgets)."""
+        if time_budget_s <= 0:
+            return 0.0
+        return time_budget_s / self.speed_factor(frequency_hz)
+
+    def speed_factors(self, frequencies_hz) -> np.ndarray:
+        """Vectorized :meth:`speed_factor`."""
+        f = np.asarray(frequencies_hz, dtype=float)
+        if np.any(f <= 0):
+            raise ConfigurationError("frequencies must be positive")
+        phi = self.independent_fraction
+        return (1.0 - phi) * self.f_ref_hz / f + phi

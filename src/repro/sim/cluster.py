@@ -1,0 +1,220 @@
+"""Partition–aggregation cluster simulator.
+
+The paper's search-engine simulator (Section V-A): one aggregator host
+broadcasts every user query to the 15 Index Serving Nodes; each ISN
+serves its sub-query under a DVFS governor; the query completes when
+the slowest reply returns.  This module couples the per-core DES with
+the flow-level network model:
+
+* a sub-request reaches ISN *i* after that ISN's *request-flow* network
+  latency (sampled from the consolidated network);
+* its server deadline is ``query_arrival + L − request_latency`` — the
+  "request slack only" rule of Section IV-C;
+* the query's end-to-end latency adds the reply-flow latency of each
+  ISN and takes the max.
+
+Aggregator compute (result merging) is negligible next to ISN service
+times and is not simulated; the aggregator still counts as a server for
+static power in the joint accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..control.latency_monitor import LatencyMonitor
+from ..errors import ConfigurationError
+from ..power.models import CorePowerModel
+from ..rng import ensure_rng, spawn
+from ..stats import LatencySummary
+from ..workloads.search import SearchWorkload
+from .engine import EventLoop
+from .request import Request
+from .server import MultiCoreServer
+
+__all__ = ["ClusterResult", "ClusterSimulator"]
+
+_POOL = 4096
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of one cluster run."""
+
+    n_queries_completed: int
+    query_latency: LatencySummary
+    sub_request_violation_rate: float
+    cpu_power_per_isn_watts: float
+    mean_busy_frequency_hz: float
+    n_isns: int
+    n_cores_per_isn: int
+
+    def datacenter_server_power(
+        self, n_cores_per_server: int = 12, static_watts: float = 20.0, idle_core_watts: float = 1.0
+    ) -> float:
+        """Scale the measured per-ISN CPU power to the paper's fleet:
+        16 servers x 12 cores.  Simulated cores are representative of
+        all cores at the same per-core load; the aggregator's cores are
+        charged idle power."""
+        per_core = self.cpu_power_per_isn_watts / self.n_cores_per_isn
+        isn_watts = static_watts + n_cores_per_server * per_core
+        agg_watts = static_watts + n_cores_per_server * idle_core_watts
+        return self.n_isns * isn_watts + agg_watts
+
+
+class ClusterSimulator:
+    """Drives one aggregator + N ISNs over a consolidated network."""
+
+    def __init__(
+        self,
+        workload: SearchWorkload,
+        governor_factory,
+        latency_monitor: LatencyMonitor,
+        utilization: float = 0.3,
+        n_cores_per_isn: int = 1,
+        core_power_model: CorePowerModel | None = None,
+        seed_or_rng=None,
+    ):
+        if not 0.0 < utilization < 1.0:
+            raise ConfigurationError(f"utilization {utilization} outside (0, 1)")
+        self.workload = workload
+        self.utilization = utilization
+        self.n_cores_per_isn = n_cores_per_isn
+        rng = ensure_rng(seed_or_rng)
+        self._arrival_rng, self._net_rng, self._work_rng, dispatch_rng = spawn(rng, 4)
+
+        self.loop = EventLoop()
+        probe = governor_factory()
+        self._network_aware = probe.network_aware
+        dispatch_rngs = spawn(dispatch_rng, workload.n_isns)
+        self.isns = {
+            isn: MultiCoreServer(
+                self.loop,
+                workload.service_model,
+                governor_factory,
+                n_cores=n_cores_per_isn,
+                core_power_model=core_power_model,
+                seed_or_rng=dispatch_rngs[i],
+                server_id=i,
+            )
+            for i, isn in enumerate(workload.isns)
+        }
+
+        # Pre-drawn network-latency pools per ISN (request and reply).
+        agg = workload.aggregator
+        self._req_pool = {}
+        self._rep_pool = {}
+        for isn in workload.isns:
+            self._req_pool[isn] = latency_monitor.network_model.sample_flow_latency(
+                f"req:{agg}->{isn}", _POOL, self._net_rng
+            )
+            self._rep_pool[isn] = latency_monitor.network_model.sample_flow_latency(
+                f"rep:{isn}->{agg}", _POOL, self._net_rng
+            )
+
+        # Per-query bookkeeping: rid -> (query id, isn); query id ->
+        # (arrival, per-isn reply latencies are resolved after the run).
+        self._rid = 0
+        self._query_arrival: list[float] = []
+        self._req_meta: dict[int, tuple[int, str]] = {}
+
+    # -- workload ---------------------------------------------------------------------
+
+    def query_rate(self) -> float:
+        """Query arrival rate that loads each ISN core to the target
+        utilization (every query visits every ISN)."""
+        per_core = self.workload.service_model.arrival_rate_for_utilization(self.utilization)
+        return per_core * self.n_cores_per_isn
+
+    def run(self, duration_s: float, warmup_s: float = 2.0) -> ClusterResult:
+        """Simulate ``duration_s`` seconds of query traffic."""
+        if duration_s <= warmup_s:
+            raise ConfigurationError("duration must exceed warmup")
+        rate = self.query_rate()
+        L = self.workload.latency_constraint_s
+        budget = self.workload.server_budget_s
+        model = self.workload.service_model
+
+        def next_query() -> None:
+            now = self.loop.now
+            qid = len(self._query_arrival)
+            self._query_arrival.append(now)
+            works = model.sample_work(len(self.isns), self._work_rng)
+            for (isn, server), work in zip(self.isns.items(), works):
+                req_lat = float(
+                    self._req_pool[isn][self._net_rng.integers(_POOL)]
+                )
+                deadline = now + L - req_lat
+                governor_deadline = (
+                    deadline if self._network_aware else now + req_lat + budget
+                )
+                rid = self._rid
+                self._rid += 1
+                self._req_meta[rid] = (qid, isn)
+                request = Request(
+                    rid=rid,
+                    arrival_time=now + req_lat,
+                    work=float(work),
+                    deadline=deadline,
+                    governor_deadline=governor_deadline,
+                    network_latency=req_lat,
+                )
+                self.loop.schedule(
+                    now + req_lat, lambda s=server, r=request: s.submit(r)
+                )
+            self.loop.schedule_after(
+                float(self._arrival_rng.exponential(1.0 / rate)), next_query
+            )
+
+        self.loop.schedule_after(
+            float(self._arrival_rng.exponential(1.0 / rate)), next_query
+        )
+        self.loop.run_until(duration_s)
+        return self._collect(warmup_s)
+
+    # -- results -----------------------------------------------------------------------
+
+    def _collect(self, warmup_s: float) -> ClusterResult:
+        n_queries = len(self._query_arrival)
+        completion = np.full(n_queries, -np.inf)
+        replies = np.zeros(n_queries, dtype=int)
+        violations = []
+        cpu_power = 0.0
+        busy = []
+        freqs = []
+        for isn, server in self.isns.items():
+            cpu_power += server.cpu_power()
+            for core in server.cores:
+                busy.append(core.busy_fraction)
+                freqs.append(core.mean_busy_frequency)
+            for r in server.completed_requests():
+                qid, _ = self._req_meta[r.rid]
+                rep_lat = float(self._rep_pool[isn][self._net_rng.integers(_POOL)])
+                finish = r.finish_time + rep_lat
+                completion[qid] = max(completion[qid], finish)
+                replies[qid] += 1
+                if self._query_arrival[qid] >= warmup_s:
+                    violations.append(r.violated)
+
+        done = replies == len(self.isns)
+        arrivals = np.asarray(self._query_arrival)
+        mask = done & (arrivals >= warmup_s)
+        if not mask.any():
+            raise ConfigurationError("no queries completed after warmup")
+        latencies = completion[mask] - arrivals[mask]
+
+        busy_arr = np.asarray(busy)
+        freq_arr = np.asarray(freqs)
+        total_busy = busy_arr.sum()
+        mean_freq = float(np.dot(busy_arr, freq_arr) / total_busy) if total_busy > 0 else 0.0
+        return ClusterResult(
+            n_queries_completed=int(mask.sum()),
+            query_latency=LatencySummary.from_samples(latencies),
+            sub_request_violation_rate=float(np.mean(violations)) if violations else 0.0,
+            cpu_power_per_isn_watts=cpu_power / len(self.isns),
+            mean_busy_frequency_hz=mean_freq,
+            n_isns=len(self.isns),
+            n_cores_per_isn=self.n_cores_per_isn,
+        )

@@ -1,0 +1,125 @@
+"""Minimal discrete-event simulation engine.
+
+A binary-heap event loop with cancellable handles — all the simulator
+needs.  Events at equal timestamps fire in scheduling order (a stable
+sequence number breaks ties), which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+__all__ = ["EventHandle", "EventLoop"]
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: object = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`EventLoop.schedule`."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry):
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+
+class EventLoop:
+    """A deterministic event loop over (time, callback) pairs."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[_Entry] = []
+        self._seq = itertools.count()
+        self._n_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def n_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._n_processed
+
+    @property
+    def n_pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, time: float, callback) -> EventHandle:
+        """Schedule ``callback()`` at absolute ``time`` (>= now)."""
+        if time < self._now - 1e-12:
+            raise SimulationError(f"event scheduled in the past: {time} < {self._now}")
+        entry = _Entry(max(time, self._now), next(self._seq), callback)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def schedule_after(self, delay: float, callback) -> EventHandle:
+        """Schedule ``callback()`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, callback)
+
+    @staticmethod
+    def cancel(handle: EventHandle) -> None:
+        """Cancel a scheduled event (no-op if already fired)."""
+        handle._entry.cancelled = True
+
+    def step(self) -> bool:
+        """Execute the next live event; returns False when none remain."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self._n_processed += 1
+            entry.callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Process events up to and including ``end_time``.
+
+        The clock is advanced to ``end_time`` afterwards, so meters can
+        integrate trailing idle periods.
+        """
+        if end_time < self._now:
+            raise SimulationError(f"run_until moving backwards: {end_time} < {self._now}")
+        while self._heap:
+            entry = self._heap[0]
+            if entry.time > end_time:
+                break
+            heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self._n_processed += 1
+            entry.callback()
+        self._now = end_time
+
+    def run_to_completion(self, max_events: int | None = None) -> None:
+        """Drain every event; ``max_events`` guards against runaways."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")

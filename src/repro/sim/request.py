@@ -1,0 +1,82 @@
+"""Request record flowing through the server simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["Request"]
+
+
+@dataclass
+class Request:
+    """One search (sub-)request at a server core.
+
+    Attributes
+    ----------
+    rid:
+        Unique id within a simulation run.
+    arrival_time:
+        When the request entered the core's queue (s).
+    work:
+        The request's *actual* reference work (s at f_ref).  Hidden from
+        governors — they only know the work distribution.
+    deadline:
+        Absolute server-side completion deadline used for SLA
+        accounting: ``arrival + (constraint − network latency)``.
+    governor_deadline:
+        The deadline the governor is told.  Equal to ``deadline`` for
+        network-slack-aware governors; ``arrival + server_budget`` for
+        schemes that assume a fixed split (Rubik).
+    network_latency:
+        The request's sampled *request-path* network latency (s).
+    reply_latency:
+        The sampled *reply-path* latency (s); part of the end-to-end
+        SLA but — per Section IV-C's conservative rule — never part of
+        the slack a governor sees.
+    """
+
+    rid: int
+    arrival_time: float
+    work: float
+    deadline: float
+    governor_deadline: float
+    network_latency: float = 0.0
+    reply_latency: float = 0.0
+
+    # Runtime state, owned by the core simulator.
+    start_time: float | None = None
+    finish_time: float | None = None
+    remaining_work: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ConfigurationError(f"request {self.rid}: negative work {self.work}")
+        if self.network_latency < 0 or self.reply_latency < 0:
+            raise ConfigurationError(f"request {self.rid}: negative network latency")
+        self.remaining_work = self.work
+
+    @property
+    def completed_work(self) -> float:
+        """Reference work retired so far."""
+        return self.work - self.remaining_work
+
+    @property
+    def sojourn(self) -> float:
+        """Server time in system (queueing + service); finished requests only."""
+        if self.finish_time is None:
+            raise ConfigurationError(f"request {self.rid} has not finished")
+        return self.finish_time - self.arrival_time
+
+    @property
+    def total_latency(self) -> float:
+        """End-to-end latency: request path + server sojourn + reply."""
+        return self.network_latency + self.sojourn + self.reply_latency
+
+    @property
+    def violated(self) -> bool:
+        """True if the request finished past its (actual) deadline."""
+        if self.finish_time is None:
+            raise ConfigurationError(f"request {self.rid} has not finished")
+        return self.finish_time > self.deadline + 1e-12

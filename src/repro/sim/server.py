@@ -1,0 +1,122 @@
+"""Multi-core server simulator.
+
+A server is ``n_cores`` independent :class:`~repro.sim.core.CoreSimulator`
+instances sharing one event loop.  Arriving requests are dispatched
+uniformly at random (splitting the server's Poisson stream into
+independent per-core Poisson streams, the standard per-core queue model
+the paper's per-request governors assume).  Each core gets its *own*
+governor instance — governor state (convolution caches, feedback
+windows) is per-core.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..power.models import CorePowerModel, ServerPowerModel
+from ..rng import ensure_rng
+from ..server.service import ServiceModel
+from .core import CoreSimulator
+from .engine import EventLoop
+from .request import Request
+
+__all__ = ["MultiCoreServer"]
+
+
+#: Supported dispatch disciplines.
+DISPATCH_POLICIES = ("random", "round-robin", "jsq")
+
+
+class MultiCoreServer:
+    """``n_cores`` cores + governors behind a request dispatcher.
+
+    Dispatch disciplines:
+
+    * ``"random"`` (default) — uniform random core; splits the server's
+      Poisson stream into independent per-core Poisson streams, the
+      per-core-queue model the paper's governors assume;
+    * ``"round-robin"`` — cyclic; thins each core's arrival stream into
+      a more regular (Erlang) process;
+    * ``"jsq"`` — join-the-shortest-queue; better tails at the cost of
+      correlated queues (an ablation of the random-dispatch assumption).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        service_model: ServiceModel,
+        governor_factory,
+        n_cores: int = 12,
+        core_power_model: CorePowerModel | None = None,
+        static_watts: float = 20.0,
+        seed_or_rng=None,
+        server_id: int = 0,
+        sleep_model=None,
+        dispatch: str = "random",
+    ):
+        if n_cores <= 0:
+            raise ConfigurationError(f"n_cores must be positive, got {n_cores}")
+        if dispatch not in DISPATCH_POLICIES:
+            raise ConfigurationError(
+                f"dispatch must be one of {DISPATCH_POLICIES}, got {dispatch!r}"
+            )
+        self.loop = loop
+        self.service_model = service_model
+        self.n_cores = n_cores
+        self.static_watts = static_watts
+        self.server_id = server_id
+        self._rng = ensure_rng(seed_or_rng)
+        core_power_model = core_power_model or CorePowerModel()
+        self.cores = [
+            CoreSimulator(
+                loop,
+                service_model,
+                governor_factory(),
+                power_model=core_power_model,
+                core_id=i,
+                sleep_model=sleep_model,
+            )
+            for i in range(n_cores)
+        ]
+        self._power_model = ServerPowerModel(
+            core_model=core_power_model, n_cores=n_cores, static_watts=static_watts
+        )
+        self.dispatch = dispatch
+        self._rr_next = 0
+
+    def submit(self, request: Request) -> CoreSimulator:
+        """Dispatch a request to a core per the configured discipline."""
+        if self.dispatch == "random":
+            core = self.cores[int(self._rng.integers(self.n_cores))]
+        elif self.dispatch == "round-robin":
+            core = self.cores[self._rr_next]
+            self._rr_next = (self._rr_next + 1) % self.n_cores
+        else:  # jsq
+            core = min(self.cores, key=lambda c: (c.n_in_system, c.core_id))
+        core.submit(request)
+        return core
+
+    # -- results -----------------------------------------------------------------
+
+    def completed_requests(self) -> list[Request]:
+        """All finished requests across cores, in completion order."""
+        out: list[Request] = []
+        for core in self.cores:
+            out.extend(core.completed)
+        out.sort(key=lambda r: (r.finish_time, r.rid))
+        return out
+
+    def cpu_power(self) -> float:
+        """Average CPU package power (W) over the run so far."""
+        return float(sum(core.average_power() for core in self.cores))
+
+    def total_power(self) -> float:
+        """Average whole-server power (W): static + CPU."""
+        return self.static_watts + self.cpu_power()
+
+    def busy_fractions(self) -> list[float]:
+        return [core.busy_fraction for core in self.cores]
+
+    def reset_statistics(self) -> None:
+        """Discard every core's accumulated statistics (end of warmup)."""
+        for core in self.cores:
+            core.reset_statistics()

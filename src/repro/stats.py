@@ -1,0 +1,137 @@
+"""Small statistics helpers shared by the simulator and experiments.
+
+The paper reports 90th/95th/99th percentile latencies throughout; these
+helpers centralize percentile conventions (linear interpolation, as
+``numpy.percentile`` defaults to) and provide streaming summaries so the
+discrete-event simulator does not have to keep every sample alive when
+only a handful of percentiles are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "percentile",
+    "tail_latency",
+    "LatencySummary",
+    "RunningMean",
+    "ewma",
+]
+
+
+def percentile(samples, q: float) -> float:
+    """Return the ``q``-th percentile of ``samples`` (0 <= q <= 100).
+
+    A thin wrapper over :func:`numpy.percentile` that validates inputs
+    and always returns a Python float.  Raises
+    :class:`~repro.errors.ConfigurationError` on an empty sample set —
+    silently returning NaN has caused real bugs in tail-latency
+    comparisons, so we fail loudly instead.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile q={q} outside [0, 100]")
+    return float(np.percentile(arr, q))
+
+
+def tail_latency(samples, q: float = 95.0) -> float:
+    """The paper's SLA metric: the ``q``-th percentile tail latency.
+
+    Defaults to the 95th percentile used for the server SLA
+    (Section III of the paper).
+    """
+    return percentile(samples, q)
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics of a batch of latency samples.
+
+    Captures the percentiles the paper plots (mean, p90, p95, p99) plus
+    count and max, so experiment tables can be produced without keeping
+    raw samples around.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples) -> "LatencySummary":
+        """Build a summary from raw samples (must be non-empty)."""
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            raise ConfigurationError("LatencySummary of an empty sample set")
+        p50, p90, p95, p99 = np.percentile(arr, [50.0, 90.0, 95.0, 99.0])
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(p50),
+            p90=float(p90),
+            p95=float(p95),
+            p99=float(p99),
+            max=float(arr.max()),
+        )
+
+
+@dataclass
+class RunningMean:
+    """Incremental mean/variance accumulator (Welford's algorithm).
+
+    Used by the SDN controller's statistics monitor to aggregate link
+    utilization samples without storing the full history.
+    """
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    def extend(self, values) -> None:
+        """Fold a batch of observations into the accumulator."""
+        for v in np.asarray(values, dtype=float).ravel():
+            self.add(float(v))
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations so far (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of observations so far."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of observations so far."""
+        return float(np.sqrt(self.variance))
+
+
+def ewma(previous: float, sample: float, alpha: float) -> float:
+    """One step of an exponentially weighted moving average.
+
+    ``alpha`` is the weight on the new sample (0 = ignore new sample,
+    1 = forget history).  TimeTrader-style feedback controllers use this
+    to smooth observed tail latency.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigurationError(f"ewma alpha={alpha} outside [0, 1]")
+    return (1.0 - alpha) * previous + alpha * sample

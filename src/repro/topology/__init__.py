@@ -1,0 +1,22 @@
+"""Data-center network topologies: fat-tree, subnets, aggregation policies."""
+
+from .aggregation import AGGREGATION_LEVELS, aggregation_policy, minimal_subnet
+from .fattree import FatTree
+from .graph import ActiveSubnet, Link, NodeKind, Topology, canonical_link
+from .paths import active_paths, fat_tree_paths, path_links, shortest_paths
+
+__all__ = [
+    "Topology",
+    "FatTree",
+    "ActiveSubnet",
+    "NodeKind",
+    "Link",
+    "canonical_link",
+    "aggregation_policy",
+    "minimal_subnet",
+    "AGGREGATION_LEVELS",
+    "fat_tree_paths",
+    "active_paths",
+    "shortest_paths",
+    "path_links",
+]

@@ -1,0 +1,95 @@
+"""Aggregation policies 0–3 (paper Fig. 9).
+
+The paper pre-defines four consolidation "aggregation" levels for the
+4-ary fat-tree: from Aggregation 0 (everything on) to Aggregation 3
+(the minimal connected subnet), gradually turning off core switches and
+the aggregation switches that serve them.  These fixed policies are used
+in the sensitivity studies (Fig. 10, Fig. 13); the LP/heuristic
+consolidation in :mod:`repro.consolidation` searches the same space
+flow-by-flow.
+
+For a k-ary fat-tree the four levels generalize as:
+
+=======  =============================  ===========================
+Level    Core switches on               Agg switches on (per pod)
+=======  =============================  ===========================
+0        all ``(k/2)**2``               all ``k/2``
+1        all of group 0, one per other  all ``k/2``
+         group
+2        group 0 only (``k/2`` cores)   index 0 only
+3        one core (``c0_0``)            index 0 only
+=======  =============================  ===========================
+
+Edge switches (and host links) always stay on — servers are never
+disconnected.  For ``k = 4`` this yields 20 / 19 / 14 / 13 active
+switches, reproducing the four topologies of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .fattree import FatTree
+from .graph import ActiveSubnet, NodeKind, canonical_link
+
+__all__ = ["aggregation_policy", "AGGREGATION_LEVELS", "minimal_subnet"]
+
+#: The aggregation levels defined by the paper.
+AGGREGATION_LEVELS = (0, 1, 2, 3)
+
+
+def aggregation_policy(ft: FatTree, level: int) -> ActiveSubnet:
+    """The :class:`ActiveSubnet` for aggregation level ``level``.
+
+    Raises :class:`~repro.errors.ConfigurationError` for levels outside
+    0–3.
+    """
+    if level not in AGGREGATION_LEVELS:
+        raise ConfigurationError(f"aggregation level must be one of {AGGREGATION_LEVELS}, got {level}")
+    half = ft.k // 2
+
+    cores_on: set[str] = set()
+    if level == 0:
+        cores_on.update(ft.switches_of_kind(NodeKind.CORE))
+    elif level == 1:
+        cores_on.update(ft.cores_in_group(0))
+        for grp in range(1, ft.n_core_groups):
+            cores_on.add(ft.cores_in_group(grp)[0])
+    elif level == 2:
+        cores_on.update(ft.cores_in_group(0))
+    else:  # level == 3
+        cores_on.add(ft.cores_in_group(0)[0])
+
+    aggs_on: set[str] = set()
+    if level in (0, 1):
+        aggs_on.update(ft.switches_of_kind(NodeKind.AGG))
+    else:
+        for pod in range(ft.n_pods):
+            aggs_on.add(ft.agg_name(pod, 0))
+
+    edges_on = set(ft.switches_of_kind(NodeKind.EDGE))
+    switches_on = cores_on | aggs_on | edges_on
+
+    links_on: set[tuple[str, str]] = set()
+    for host in ft.hosts:
+        links_on.add(canonical_link(host, ft.attachment_switch(host)))
+    for u, v in ft.links:
+        if ft.is_host(u) or ft.is_host(v):
+            continue
+        if u in switches_on and v in switches_on:
+            links_on.add(canonical_link(u, v))
+
+    subnet = ActiveSubnet(ft, frozenset(switches_on), frozenset(links_on))
+    # Aggregation policies must never disconnect hosts; cheap to check
+    # here and catches arity/level combinations that make no sense.
+    if not subnet.connects_all_hosts():
+        raise ConfigurationError(f"aggregation level {level} disconnects hosts (k={ft.k})")
+    return subnet
+
+
+def minimal_subnet(ft: FatTree) -> ActiveSubnet:
+    """The smallest connected subnet (alias for aggregation level 3).
+
+    This is the floor of EPRONS-Network's search space: one core, one
+    aggregation switch per pod, every edge switch.
+    """
+    return aggregation_policy(ft, 3)

@@ -1,0 +1,174 @@
+"""k-ary fat-tree topology builder (the paper's evaluation platform).
+
+A k-ary fat-tree (k even) has:
+
+* ``k`` pods, each with ``k/2`` edge switches and ``k/2`` aggregation
+  switches;
+* ``(k/2)**2`` core switches, arranged in ``k/2`` *groups* of ``k/2``;
+  every core in group ``g`` connects to aggregation switch ``g`` of
+  every pod;
+* ``k/2`` hosts per edge switch, i.e. ``k**3 / 4`` hosts total.
+
+The paper uses ``k = 4``: 16 servers, 4 core + 8 aggregation + 8 edge =
+20 switches, and 48 links, with 1 Gbps link capacity (Fig. 2).
+
+Node naming (stable, sortable):
+
+=========  =======================  ==========================
+Kind       Name                     Example (k=4)
+=========  =======================  ==========================
+host       ``h{pod}_{edge}_{i}``    ``h0_1_0``
+edge       ``e{pod}_{i}``           ``e2_0``
+agg        ``a{pod}_{i}``           ``a2_1``
+core       ``c{group}_{i}``         ``c1_0``
+=========  =======================  ==========================
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+from ..units import GBPS
+from .graph import NodeKind, Topology
+
+__all__ = ["FatTree"]
+
+
+class FatTree(Topology):
+    """A k-ary fat-tree :class:`~repro.topology.graph.Topology`.
+
+    Parameters
+    ----------
+    k:
+        Fat-tree arity; must be a positive even integer.
+    link_capacity_bps:
+        Capacity of every link, in bit/s (default 1 Gbps, as in the
+        paper's MiniNet deployment).
+    """
+
+    def __init__(self, k: int = 4, link_capacity_bps: float = GBPS):
+        if k <= 0 or k % 2 != 0:
+            raise ConfigurationError(f"fat-tree arity must be a positive even int, got {k}")
+        if link_capacity_bps <= 0:
+            raise ConfigurationError("link capacity must be positive")
+        self._k = k
+        half = k // 2
+        g = nx.Graph()
+
+        # Core switches: group g, index i within the group.
+        for grp in range(half):
+            for i in range(half):
+                g.add_node(self.core_name(grp, i), kind=NodeKind.CORE)
+
+        for pod in range(k):
+            for i in range(half):
+                g.add_node(self.agg_name(pod, i), kind=NodeKind.AGG)
+                g.add_node(self.edge_name(pod, i), kind=NodeKind.EDGE)
+            # Full bipartite mesh between the pod's edge and agg layers.
+            for e in range(half):
+                for a in range(half):
+                    g.add_edge(
+                        self.edge_name(pod, e),
+                        self.agg_name(pod, a),
+                        capacity=link_capacity_bps,
+                    )
+            # Aggregation switch ``a`` uplinks to every core in group ``a``.
+            for a in range(half):
+                for i in range(half):
+                    g.add_edge(
+                        self.agg_name(pod, a),
+                        self.core_name(a, i),
+                        capacity=link_capacity_bps,
+                    )
+            # Hosts under each edge switch.
+            for e in range(half):
+                for h in range(half):
+                    host = self.host_name(pod, e, h)
+                    g.add_node(host, kind=NodeKind.HOST)
+                    g.add_edge(host, self.edge_name(pod, e), capacity=link_capacity_bps)
+
+        super().__init__(g)
+
+    # -- naming ------------------------------------------------------------------
+
+    @staticmethod
+    def host_name(pod: int, edge: int, index: int) -> str:
+        return f"h{pod}_{edge}_{index}"
+
+    @staticmethod
+    def edge_name(pod: int, index: int) -> str:
+        return f"e{pod}_{index}"
+
+    @staticmethod
+    def agg_name(pod: int, index: int) -> str:
+        return f"a{pod}_{index}"
+
+    @staticmethod
+    def core_name(group: int, index: int) -> str:
+        return f"c{group}_{index}"
+
+    # -- structure ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Fat-tree arity."""
+        return self._k
+
+    @property
+    def n_pods(self) -> int:
+        return self._k
+
+    @property
+    def n_core_groups(self) -> int:
+        return self._k // 2
+
+    def pod_of(self, node: str) -> int:
+        """Pod number of a host, edge or agg switch.
+
+        Core switches do not belong to a pod; asking for one raises.
+        """
+        if node.startswith(("h", "e", "a")) and not node.startswith("c"):
+            try:
+                return int(node[1:].split("_", 1)[0])
+            except ValueError:
+                pass
+        raise ConfigurationError(f"{node!r} does not belong to a pod")
+
+    def core_group_of(self, core: str) -> int:
+        """Group number of a core switch (which agg index it serves)."""
+        if not core.startswith("c"):
+            raise ConfigurationError(f"{core!r} is not a core switch")
+        return int(core[1:].split("_", 1)[0])
+
+    def agg_index_of(self, agg: str) -> int:
+        """Index of an aggregation switch within its pod."""
+        if not agg.startswith("a"):
+            raise ConfigurationError(f"{agg!r} is not an aggregation switch")
+        return int(agg.split("_", 1)[1])
+
+    def hosts_in_pod(self, pod: int) -> tuple[str, ...]:
+        """All hosts of one pod, sorted."""
+        self._check_pod(pod)
+        prefix = f"h{pod}_"
+        return tuple(h for h in self.hosts if h.startswith(prefix))
+
+    def edge_switches_in_pod(self, pod: int) -> tuple[str, ...]:
+        self._check_pod(pod)
+        prefix = f"e{pod}_"
+        return tuple(s for s in self.switches_of_kind(NodeKind.EDGE) if s.startswith(prefix))
+
+    def agg_switches_in_pod(self, pod: int) -> tuple[str, ...]:
+        self._check_pod(pod)
+        prefix = f"a{pod}_"
+        return tuple(s for s in self.switches_of_kind(NodeKind.AGG) if s.startswith(prefix))
+
+    def cores_in_group(self, group: int) -> tuple[str, ...]:
+        if not 0 <= group < self.n_core_groups:
+            raise ConfigurationError(f"core group {group} outside [0, {self.n_core_groups})")
+        prefix = f"c{group}_"
+        return tuple(s for s in self.switches_of_kind(NodeKind.CORE) if s.startswith(prefix))
+
+    def _check_pod(self, pod: int) -> None:
+        if not 0 <= pod < self._k:
+            raise ConfigurationError(f"pod {pod} outside [0, {self._k})")

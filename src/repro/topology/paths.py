@@ -1,0 +1,110 @@
+"""Path enumeration over data-center topologies.
+
+Consolidation needs two views of paths:
+
+* :func:`fat_tree_paths` — all shortest host-to-host paths over the
+  *physical* fat-tree, enumerated analytically (no graph search) in a
+  deterministic "leftmost" order.  The greedy heuristic walks this
+  order so flows pack onto the lowest-indexed devices first, which is
+  exactly what makes the unused right-hand side of the tree go dark.
+* :func:`active_paths` — shortest paths restricted to an
+  :class:`~repro.topology.graph.ActiveSubnet`, for routing under a
+  fixed aggregation policy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+from .fattree import FatTree
+from .graph import ActiveSubnet, Topology, canonical_link
+
+__all__ = ["fat_tree_paths", "active_paths", "path_links", "shortest_paths"]
+
+Path = tuple[str, ...]
+
+
+def path_links(path: Path) -> tuple[tuple[str, str], ...]:
+    """The canonical links traversed by a node path."""
+    if len(path) < 2:
+        raise ConfigurationError(f"path must have at least two nodes, got {path}")
+    return tuple(canonical_link(u, v) for u, v in zip(path[:-1], path[1:]))
+
+
+def fat_tree_paths(ft: FatTree, src: str, dst: str) -> list[Path]:
+    """All shortest paths between two hosts of a fat-tree.
+
+    Enumerated structurally (2, ``k/2`` or ``(k/2)**2`` paths depending
+    on whether the hosts share an edge switch, a pod, or nothing), in
+    sorted (leftmost-first) order.  Structural enumeration avoids an
+    all-shortest-paths graph search per flow, which dominates heuristic
+    runtime on larger trees.
+    """
+    if src == dst:
+        raise ConfigurationError("source and destination hosts must differ")
+    for h in (src, dst):
+        if not ft.is_host(h):
+            raise ConfigurationError(f"{h!r} is not a host")
+    e_src = ft.attachment_switch(src)
+    e_dst = ft.attachment_switch(dst)
+    if e_src == e_dst:
+        return [(src, e_src, dst)]
+
+    pod_src = ft.pod_of(src)
+    pod_dst = ft.pod_of(dst)
+    if pod_src == pod_dst:
+        return [
+            (src, e_src, agg, e_dst, dst)
+            for agg in ft.agg_switches_in_pod(pod_src)
+        ]
+
+    paths: list[Path] = []
+    for g in range(ft.n_core_groups):
+        a_src = ft.agg_name(pod_src, g)
+        a_dst = ft.agg_name(pod_dst, g)
+        for core in ft.cores_in_group(g):
+            paths.append((src, e_src, a_src, core, a_dst, e_dst, dst))
+    return paths
+
+
+def active_paths(subnet: ActiveSubnet, src: str, dst: str) -> list[Path]:
+    """All shortest paths between ``src`` and ``dst`` over the active
+    subnet, sorted deterministically.
+
+    Returns an empty list when the subnet disconnects the pair (the
+    caller decides whether that is an error or a trigger to power
+    devices back on).
+    """
+    g = subnet.active_graph()
+    if src not in g or dst not in g:
+        return []
+    try:
+        paths = [tuple(p) for p in nx.all_shortest_paths(g, src, dst)]
+    except nx.NetworkXNoPath:
+        return []
+    return sorted(paths)
+
+
+def shortest_paths(topology: Topology, src: str, dst: str) -> list[Path]:
+    """All shortest paths over the full physical topology.
+
+    Generic (graph-search) fallback for non-fat-tree topologies; for a
+    :class:`FatTree` prefer :func:`fat_tree_paths`.
+    """
+    if isinstance(topology, FatTree) and topology.is_host(src) and topology.is_host(dst):
+        return fat_tree_paths(topology, src, dst)
+    try:
+        return sorted(tuple(p) for p in nx.all_shortest_paths(topology.graph, src, dst))
+    except nx.NetworkXNoPath:
+        return []
+
+
+def iter_host_pairs(topology: Topology) -> Iterator[tuple[str, str]]:
+    """All ordered host pairs (src != dst), sorted."""
+    for src in topology.hosts:
+        for dst in topology.hosts:
+            if src != dst:
+                yield src, dst

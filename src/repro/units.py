@@ -1,0 +1,124 @@
+"""Physical units and conversion helpers used across the EPRONS reproduction.
+
+The paper mixes units freely (Mbps link capacities, GHz frequencies,
+milli/microsecond latencies, Watt power draws).  To keep the code
+unambiguous every module in this package stores quantities in a single
+canonical unit and converts at the boundary:
+
+===============  =================
+Quantity         Canonical unit
+===============  =================
+time             seconds (float)
+bandwidth        bits per second
+frequency        Hz
+power            Watts
+energy           Joules
+work             CPU cycles
+===============  =================
+
+The helpers below are thin, explicit converters.  They exist so call
+sites read like the paper ("a 20 Mbps query flow", "a 30 ms tail-latency
+constraint") while the internals stay in SI units.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+#: One microsecond, in seconds.
+USEC = 1e-6
+#: One millisecond, in seconds.
+MSEC = 1e-3
+#: One minute, in seconds.
+MINUTE = 60.0
+#: One hour, in seconds.
+HOUR = 3600.0
+
+
+def from_ms(value_ms: float) -> float:
+    """Convert milliseconds to canonical seconds."""
+    return value_ms * MSEC
+
+
+def to_ms(value_s: float) -> float:
+    """Convert canonical seconds to milliseconds."""
+    return value_s / MSEC
+
+
+def from_us(value_us: float) -> float:
+    """Convert microseconds to canonical seconds."""
+    return value_us * USEC
+
+
+def to_us(value_s: float) -> float:
+    """Convert canonical seconds to microseconds."""
+    return value_s / USEC
+
+
+# ---------------------------------------------------------------------------
+# Bandwidth
+# ---------------------------------------------------------------------------
+
+#: One kilobit per second, in bit/s.
+KBPS = 1e3
+#: One megabit per second, in bit/s.
+MBPS = 1e6
+#: One gigabit per second, in bit/s.
+GBPS = 1e9
+
+
+def from_mbps(value_mbps: float) -> float:
+    """Convert Mbit/s to canonical bit/s."""
+    return value_mbps * MBPS
+
+
+def to_mbps(value_bps: float) -> float:
+    """Convert canonical bit/s to Mbit/s."""
+    return value_bps / MBPS
+
+
+def from_gbps(value_gbps: float) -> float:
+    """Convert Gbit/s to canonical bit/s."""
+    return value_gbps * GBPS
+
+
+def to_gbps(value_bps: float) -> float:
+    """Convert canonical bit/s to Gbit/s."""
+    return value_bps / GBPS
+
+
+# ---------------------------------------------------------------------------
+# Frequency
+# ---------------------------------------------------------------------------
+
+#: One megahertz, in Hz.
+MHZ = 1e6
+#: One gigahertz, in Hz.
+GHZ = 1e9
+
+
+def from_ghz(value_ghz: float) -> float:
+    """Convert GHz to canonical Hz."""
+    return value_ghz * GHZ
+
+
+def to_ghz(value_hz: float) -> float:
+    """Convert canonical Hz to GHz."""
+    return value_hz / GHZ
+
+
+# ---------------------------------------------------------------------------
+# Energy
+# ---------------------------------------------------------------------------
+
+#: One watt-hour, in Joules.
+WATT_HOUR = 3600.0
+#: One kilowatt-hour, in Joules.
+KILOWATT_HOUR = 3.6e6
+
+
+def to_kwh(value_joules: float) -> float:
+    """Convert canonical Joules to kWh."""
+    return value_joules / KILOWATT_HOUR

@@ -1,0 +1,14 @@
+"""Workload generators: search deployment and diurnal traces."""
+
+from .diurnal import MINUTES_PER_DAY, DiurnalTrace, synth_diurnal_trace
+from .search import SearchWorkload
+from .traceio import load_trace_csv, save_trace_csv
+
+__all__ = [
+    "SearchWorkload",
+    "DiurnalTrace",
+    "synth_diurnal_trace",
+    "MINUTES_PER_DAY",
+    "save_trace_csv",
+    "load_trace_csv",
+]

@@ -1,0 +1,123 @@
+"""Diurnal (24-hour) workload traces — the Fig. 14 substitute.
+
+The paper drives its day-long evaluation with the Wikipedia trace [21]:
+search load between ~20 % and 100 % of peak and background traffic
+between ~10 % and 60 % of link bandwidth, both following a diurnal
+pattern.  Without the proprietary trace we synthesize the same shape: a
+raised-cosine day curve with a configurable trough/peak, plus bounded
+noise, at one-minute granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import ensure_rng
+
+__all__ = ["DiurnalTrace", "synth_diurnal_trace", "MINUTES_PER_DAY"]
+
+MINUTES_PER_DAY = 1440
+
+
+@dataclass(frozen=True)
+class DiurnalTrace:
+    """A day of per-minute load levels.
+
+    Attributes
+    ----------
+    minutes:
+        Sample times in minutes from midnight.
+    search_load:
+        Search load as a fraction of peak (0–1] per minute (Fig. 14a).
+    background_utilization:
+        Background traffic as a fraction of link bandwidth per minute
+        (Fig. 14b).
+    """
+
+    minutes: np.ndarray
+    search_load: np.ndarray
+    background_utilization: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.minutes)
+        if n == 0:
+            raise ConfigurationError("trace must be non-empty")
+        if len(self.search_load) != n or len(self.background_utilization) != n:
+            raise ConfigurationError("trace arrays must have equal length")
+        if np.any((self.search_load <= 0) | (self.search_load > 1)):
+            raise ConfigurationError("search load must lie in (0, 1]")
+        if np.any((self.background_utilization < 0) | (self.background_utilization >= 1)):
+            raise ConfigurationError("background utilization must lie in [0, 1)")
+
+    def __len__(self) -> int:
+        return len(self.minutes)
+
+    @property
+    def peak_minute(self) -> int:
+        return int(self.minutes[int(np.argmax(self.search_load))])
+
+    @property
+    def trough_minute(self) -> int:
+        return int(self.minutes[int(np.argmin(self.search_load))])
+
+    def at(self, minute: float) -> tuple[float, float]:
+        """(search_load, background_utilization) at the nearest sample."""
+        i = int(np.argmin(np.abs(self.minutes - minute)))
+        return float(self.search_load[i]), float(self.background_utilization[i])
+
+    def subsampled(self, every_minutes: int) -> "DiurnalTrace":
+        """Coarsen the trace (e.g. for a 10-minute epoch sweep)."""
+        if every_minutes <= 0:
+            raise ConfigurationError("subsample period must be positive")
+        idx = np.arange(0, len(self.minutes), every_minutes)
+        return DiurnalTrace(
+            minutes=self.minutes[idx],
+            search_load=self.search_load[idx],
+            background_utilization=self.background_utilization[idx],
+        )
+
+
+def synth_diurnal_trace(
+    n_minutes: int = MINUTES_PER_DAY,
+    search_min: float = 0.2,
+    search_max: float = 1.0,
+    background_min: float = 0.1,
+    background_max: float = 0.6,
+    peak_minute: int = 14 * 60,
+    noise: float = 0.03,
+    seed_or_rng=None,
+) -> DiurnalTrace:
+    """Synthesize a Wikipedia-like diurnal day (Fig. 14 shape).
+
+    A raised cosine peaking at ``peak_minute`` (2 pm by default, the
+    typical web-search peak) spans [min, max] for both series, with
+    i.i.d. Gaussian noise of standard deviation ``noise`` (clipped back
+    into range).  Deterministic under a fixed seed.
+    """
+    if n_minutes <= 0:
+        raise ConfigurationError("n_minutes must be positive")
+    if not 0.0 < search_min <= search_max <= 1.0:
+        raise ConfigurationError("need 0 < search_min <= search_max <= 1")
+    if not 0.0 <= background_min <= background_max < 1.0:
+        raise ConfigurationError("need 0 <= background_min <= background_max < 1")
+    if noise < 0:
+        raise ConfigurationError("noise must be non-negative")
+
+    rng = ensure_rng(seed_or_rng)
+    minutes = np.arange(n_minutes, dtype=float)
+    phase = 2.0 * np.pi * (minutes - peak_minute) / MINUTES_PER_DAY
+    shape = 0.5 * (1.0 + np.cos(phase))  # 1 at the peak, 0 twelve hours away
+
+    search = search_min + (search_max - search_min) * shape
+    background = background_min + (background_max - background_min) * shape
+    if noise > 0:
+        search = search + rng.normal(0.0, noise, n_minutes)
+        background = background + rng.normal(0.0, noise, n_minutes)
+    search = np.clip(search, search_min, search_max)
+    background = np.clip(background, background_min, background_max)
+    return DiurnalTrace(
+        minutes=minutes, search_load=search, background_utilization=background
+    )

@@ -1,0 +1,100 @@
+"""Search-cluster workload description.
+
+Bundles everything that defines the paper's partition–aggregation
+search deployment on the 4-ary fat-tree: which host aggregates, the
+per-flow query bandwidth, the SLA split, and the service-time model the
+ISNs run.  Experiments construct one :class:`SearchWorkload` and derive
+traffic sets / simulator inputs from it, so every figure uses one
+consistent parameterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..flows.traffic import TrafficSet, background_flows, search_flows
+from ..server.service import ServiceModel, default_service_model
+from ..topology.fattree import FatTree
+from ..units import MBPS
+
+__all__ = ["SearchWorkload"]
+
+
+@dataclass(frozen=True)
+class SearchWorkload:
+    """The paper's search deployment: 1 aggregator + 15 ISNs.
+
+    Parameters
+    ----------
+    topology:
+        The fat-tree hosting the cluster.
+    aggregator:
+        Host acting as the aggregation node (the remaining hosts are
+        Index Serving Nodes).
+    query_demand_bps:
+        Bandwidth of each request/reply flow.  10 Mbps by default —
+        small "mice", sized so the fan-in at the aggregator stays
+        routable at every scale factor the paper sweeps (K ≤ 4 at 50 %
+        background).
+    latency_constraint_s:
+        End-to-end tail-latency SLA ``L`` (30 ms in Fig. 12a).
+    network_budget_s:
+        The nominal network share of ``L`` (5 ms in the paper); fixed
+        SLA split assumed by network-oblivious governors.
+    service_model:
+        ISN service-time model.
+    """
+
+    topology: FatTree
+    aggregator: str = ""
+    query_demand_bps: float = 10 * MBPS
+    latency_constraint_s: float = 30e-3
+    network_budget_s: float = 5e-3
+    service_model: ServiceModel = field(default_factory=default_service_model)
+
+    def __post_init__(self) -> None:
+        agg = self.aggregator or self.topology.hosts[0]
+        object.__setattr__(self, "aggregator", agg)
+        if agg not in self.topology.hosts:
+            raise ConfigurationError(f"aggregator {agg!r} is not a host")
+        if self.query_demand_bps <= 0:
+            raise ConfigurationError("query demand must be positive")
+        if not 0.0 <= self.network_budget_s < self.latency_constraint_s:
+            raise ConfigurationError("network budget must lie in [0, L)")
+
+    @property
+    def isns(self) -> tuple[str, ...]:
+        """The Index Serving Nodes (every host but the aggregator)."""
+        return tuple(h for h in self.topology.hosts if h != self.aggregator)
+
+    @property
+    def n_isns(self) -> int:
+        return len(self.isns)
+
+    @property
+    def server_budget_s(self) -> float:
+        """The compute share of the SLA under the fixed split."""
+        return self.latency_constraint_s - self.network_budget_s
+
+    def query_flows(self) -> TrafficSet:
+        """Request + reply flows for the search tier."""
+        return search_flows(
+            self.topology,
+            self.aggregator,
+            demand_bps=self.query_demand_bps,
+            deadline_s=self.network_budget_s,
+        )
+
+    def traffic(self, background_utilization: float, seed_or_rng=None) -> TrafficSet:
+        """Search flows plus background elephants at the given level."""
+        bg = background_flows(
+            self.topology, background_utilization, seed_or_rng=seed_or_rng
+        )
+        return self.query_flows().merged_with(bg)
+
+    def with_constraint(self, latency_constraint_s: float) -> "SearchWorkload":
+        """A copy with a different SLA (used by the Fig. 12b/13 sweeps)."""
+        from dataclasses import replace
+
+        return replace(self, latency_constraint_s=latency_constraint_s)

@@ -1,0 +1,71 @@
+"""Trace file I/O.
+
+The synthetic diurnal generator stands in for the Wikipedia trace [21];
+deployments that *do* have a measured trace can load it from CSV and
+drive the same experiments.  Format: a header line followed by
+``minute,search_load,background_utilization`` rows (fractions in
+[0, 1]).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .diurnal import DiurnalTrace
+
+__all__ = ["save_trace_csv", "load_trace_csv"]
+
+_HEADER = ["minute", "search_load", "background_utilization"]
+
+
+def save_trace_csv(trace: DiurnalTrace, path) -> None:
+    """Write a trace to ``path`` in the canonical CSV format."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for minute, load, bg in zip(
+            trace.minutes, trace.search_load, trace.background_utilization
+        ):
+            writer.writerow([f"{minute:g}", f"{load:.6f}", f"{bg:.6f}"])
+
+
+def load_trace_csv(path) -> DiurnalTrace:
+    """Read a trace written by :func:`save_trace_csv` (or hand-made in
+    the same format).  Validates the header and value ranges."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"trace file not found: {path}")
+    minutes: list[float] = []
+    loads: list[float] = []
+    bgs: list[float] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ConfigurationError(f"trace file {path} is empty") from None
+        if [h.strip() for h in header] != _HEADER:
+            raise ConfigurationError(
+                f"trace file {path} has header {header}, expected {_HEADER}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise ConfigurationError(f"{path}:{lineno}: expected 3 columns, got {len(row)}")
+            try:
+                minutes.append(float(row[0]))
+                loads.append(float(row[1]))
+                bgs.append(float(row[2]))
+            except ValueError as err:
+                raise ConfigurationError(f"{path}:{lineno}: {err}") from None
+    return DiurnalTrace(
+        minutes=np.asarray(minutes),
+        search_load=np.asarray(loads),
+        background_utilization=np.asarray(bgs),
+    )

@@ -1,0 +1,53 @@
+"""Shared fixtures for the EPRONS reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flows import combined_traffic, search_flows
+from repro.server import XEON_LADDER, default_service_model
+from repro.topology import FatTree
+
+
+@pytest.fixture(scope="session")
+def ft4() -> FatTree:
+    """The paper's 4-ary fat-tree (16 hosts, 20 switches, 48 links)."""
+    return FatTree(4)
+
+
+@pytest.fixture(scope="session")
+def ft6() -> FatTree:
+    """A larger tree for scaling checks."""
+    return FatTree(6)
+
+
+@pytest.fixture(scope="session")
+def service_model():
+    """The default synthetic search service-time model."""
+    return default_service_model()
+
+
+@pytest.fixture(scope="session")
+def ladder():
+    """The paper's 1.2-2.7 GHz DVFS ladder."""
+    return XEON_LADDER
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def search_traffic(ft4):
+    """Request+reply search flows from host 0 (30 flows)."""
+    return search_flows(ft4, aggregator=ft4.hosts[0])
+
+
+@pytest.fixture()
+def mixed_traffic(ft4):
+    """Search plus 20% background traffic (46 flows), fixed seed."""
+    return combined_traffic(
+        ft4, aggregator=ft4.hosts[0], background_utilization=0.2, seed_or_rng=1
+    )

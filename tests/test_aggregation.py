@@ -1,0 +1,77 @@
+"""Aggregation policies 0-3 (Fig. 9)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import (
+    AGGREGATION_LEVELS,
+    FatTree,
+    NodeKind,
+    aggregation_policy,
+    minimal_subnet,
+)
+
+
+class TestAggregationK4:
+    """Active-switch counts for the paper's 4-ary tree: 20/19/14/13."""
+
+    EXPECTED_SWITCHES = {0: 20, 1: 19, 2: 14, 3: 13}
+
+    @pytest.mark.parametrize("level", AGGREGATION_LEVELS)
+    def test_switch_counts(self, ft4, level):
+        sub = aggregation_policy(ft4, level)
+        assert sub.n_switches_on == self.EXPECTED_SWITCHES[level]
+
+    @pytest.mark.parametrize("level", AGGREGATION_LEVELS)
+    def test_all_hosts_connected(self, ft4, level):
+        assert aggregation_policy(ft4, level).connects_all_hosts()
+
+    @pytest.mark.parametrize("level", AGGREGATION_LEVELS)
+    def test_edge_switches_always_on(self, ft4, level):
+        sub = aggregation_policy(ft4, level)
+        for sw in ft4.switches_of_kind(NodeKind.EDGE):
+            assert sub.is_switch_on(sw)
+
+    def test_monotone_shrinking(self, ft4):
+        """Each level's on-set is a subset of the previous level's."""
+        subs = [aggregation_policy(ft4, lvl) for lvl in AGGREGATION_LEVELS]
+        for prev, nxt in zip(subs, subs[1:]):
+            assert nxt.switches_on <= prev.switches_on
+            assert nxt.links_on <= prev.links_on
+
+    def test_level3_single_core(self, ft4):
+        sub = aggregation_policy(ft4, 3)
+        cores_on = [c for c in ft4.switches_of_kind(NodeKind.CORE) if sub.is_switch_on(c)]
+        assert cores_on == [ft4.core_name(0, 0)]
+
+    def test_level2_one_agg_per_pod(self, ft4):
+        sub = aggregation_policy(ft4, 2)
+        for pod in range(4):
+            aggs_on = [a for a in ft4.agg_switches_in_pod(pod) if sub.is_switch_on(a)]
+            assert aggs_on == [ft4.agg_name(pod, 0)]
+
+    def test_minimal_subnet_is_level3(self, ft4):
+        assert minimal_subnet(ft4).switches_on == aggregation_policy(ft4, 3).switches_on
+
+    def test_invalid_level_raises(self, ft4):
+        with pytest.raises(ConfigurationError):
+            aggregation_policy(ft4, 4)
+        with pytest.raises(ConfigurationError):
+            aggregation_policy(ft4, -1)
+
+    def test_network_power_decreases(self, ft4):
+        powers = []
+        for lvl in AGGREGATION_LEVELS:
+            sw, ln = aggregation_policy(ft4, lvl).network_power()
+            powers.append(sw + ln)
+        assert powers == sorted(powers, reverse=True)
+
+
+class TestAggregationK6:
+    @pytest.mark.parametrize("level", AGGREGATION_LEVELS)
+    def test_connected_and_shrinking(self, ft6, level):
+        sub = aggregation_policy(ft6, level)
+        assert sub.connects_all_hosts()
+        if level > 0:
+            prev = aggregation_policy(ft6, level - 1)
+            assert sub.n_switches_on <= prev.n_switches_on

@@ -1,0 +1,180 @@
+"""Traffic consolidation: greedy heuristic, fixed-subnet routing, and
+the shared validation/link-reservation helpers."""
+
+import pytest
+
+from repro.consolidation import (
+    GreedyConsolidator,
+    route_on_subnet,
+    validate_result,
+)
+from repro.consolidation.base import link_reservation
+from repro.errors import InfeasibleError
+from repro.flows import Flow, FlowClass, TrafficSet, combined_traffic, search_flows
+from repro.topology import aggregation_policy
+from repro.units import MBPS
+
+
+class TestLinkReservation:
+    def test_switch_link_scaled(self, ft4):
+        f = Flow("q", "h0_0_0", "h1_0_0", 20 * MBPS, FlowClass.LATENCY_SENSITIVE, 5e-3)
+        assert link_reservation(f, 3.0, ft4, "e0_0", "a0_0") == pytest.approx(60 * MBPS)
+
+    def test_host_link_not_scaled(self, ft4):
+        f = Flow("q", "h0_0_0", "h1_0_0", 20 * MBPS, FlowClass.LATENCY_SENSITIVE, 5e-3)
+        assert link_reservation(f, 3.0, ft4, "h0_0_0", "e0_0") == pytest.approx(20 * MBPS)
+
+    def test_tolerant_never_scaled(self, ft4):
+        f = Flow("bg", "h0_0_0", "h1_0_0", 100 * MBPS, FlowClass.LATENCY_TOLERANT)
+        assert link_reservation(f, 4.0, ft4, "e0_0", "a0_0") == pytest.approx(100 * MBPS)
+
+
+class TestGreedyConsolidator:
+    def test_result_valid(self, ft4, mixed_traffic):
+        res = GreedyConsolidator(ft4).consolidate(mixed_traffic, 1.0)
+        validate_result(ft4, mixed_traffic, res)
+
+    def test_consolidates_below_full_topology(self, ft4, search_traffic):
+        res = GreedyConsolidator(ft4).consolidate(search_traffic, 1.0)
+        assert res.n_switches_on < ft4.n_switches
+
+    def test_more_k_more_switches(self, ft4, mixed_traffic):
+        g = GreedyConsolidator(ft4)
+        counts = [g.consolidate(mixed_traffic, k).n_switches_on for k in (1, 2, 3, 4)]
+        assert counts[0] <= counts[-1]
+        assert counts == sorted(counts)
+
+    def test_spread_under_larger_k(self, ft4):
+        """Fig. 2: at higher K, latency-sensitive flows move off the
+        elephant's path, lowering the max utilization a query sees."""
+        traffic = combined_traffic(ft4, "h0_0_0", 0.5, seed_or_rng=3)
+        g = GreedyConsolidator(ft4)
+        from repro.netsim import NetworkModel
+
+        def max_query_switch_util(k):
+            res = g.consolidate(traffic, k, best_effort_scale=True)
+            validate_result(ft4, traffic, res, check_reservations=False)
+            nm = NetworkModel(ft4, traffic, res.routing)
+            # Host access links cannot be steered by K; the scale factor
+            # acts on the switch-switch hops (path[1:-1]).
+            worst = 0.0
+            for f in traffic.latency_sensitive:
+                utils = nm.path_utilizations(f.flow_id)[1:-1]
+                if len(utils):
+                    worst = max(worst, float(max(utils)))
+            return worst
+
+        assert max_query_switch_util(4) < max_query_switch_util(1)
+
+    def test_best_effort_never_worse_than_k1(self, ft4):
+        """Best-effort at high K still routes everything K=1 could."""
+        traffic = combined_traffic(ft4, "h0_0_0", 0.5, seed_or_rng=3)
+        g = GreedyConsolidator(ft4)
+        res = g.consolidate(traffic, 6.0, best_effort_scale=True)
+        validate_result(ft4, traffic, res, check_reservations=False)
+        assert len(res.routing) == len(traffic)
+
+    def test_minimum_switch_floor(self, ft4, search_traffic):
+        """Search traffic alone fits the minimal subnet (13 switches)."""
+        res = GreedyConsolidator(ft4).consolidate(search_traffic, 1.0)
+        assert res.n_switches_on == 13
+
+    def test_infeasible_raises(self, ft4):
+        # Two elephants from one host exceed the single uplink.
+        flows = TrafficSet(
+            [
+                Flow(f"bg{i}", "h0_0_0", "h1_0_0", 600 * MBPS, FlowClass.LATENCY_TOLERANT)
+                for i in range(2)
+            ]
+        )
+        with pytest.raises(InfeasibleError):
+            GreedyConsolidator(ft4).consolidate(flows, 1.0)
+
+    def test_deterministic(self, ft4, mixed_traffic):
+        a = GreedyConsolidator(ft4).consolidate(mixed_traffic, 2.0)
+        b = GreedyConsolidator(ft4).consolidate(mixed_traffic, 2.0)
+        assert a.subnet.switches_on == b.subnet.switches_on
+        assert dict(a.routing.items()) == dict(b.routing.items())
+
+    def test_objective_matches_subnet_power(self, ft4, mixed_traffic):
+        g = GreedyConsolidator(ft4)
+        res = g.consolidate(mixed_traffic, 1.0)
+        sw, ln = res.subnet.network_power(g.switch_model, g.link_model)
+        assert res.objective_watts == pytest.approx(sw + ln)
+
+    def test_respects_safety_margin(self, ft4):
+        # 960 Mbps elephant exceeds the 950 Mbps usable capacity.
+        flows = TrafficSet(
+            [Flow("bg", "h0_0_0", "h1_0_0", 960 * MBPS, FlowClass.LATENCY_TOLERANT)]
+        )
+        with pytest.raises(InfeasibleError):
+            GreedyConsolidator(ft4, safety_margin_bps=50 * MBPS).consolidate(flows, 1.0)
+        # Without the margin it fits.
+        res = GreedyConsolidator(ft4, safety_margin_bps=0.0).consolidate(flows, 1.0)
+        validate_result(ft4, flows, res)
+
+
+class TestRouteOnSubnet:
+    def test_routes_stay_inside_policy(self, ft4, search_traffic):
+        sub = aggregation_policy(ft4, 3)
+        res = route_on_subnet(sub, search_traffic, 1.0)
+        for fid, path in res.routing.items():
+            for node in path:
+                if ft4.is_switch(node):
+                    assert sub.is_switch_on(node)
+
+    def test_reports_full_policy_power(self, ft4, search_traffic):
+        sub = aggregation_policy(ft4, 2)
+        res = route_on_subnet(sub, search_traffic, 1.0)
+        sw, ln = sub.network_power()
+        assert res.objective_watts == pytest.approx(sw + ln)
+        assert res.subnet is sub
+
+    def test_aggregation3_infeasible_under_heavy_background(self, ft4):
+        """Fig. 13(c): high background + high K do not fit the minimal
+        subnet."""
+        traffic = combined_traffic(ft4, "h0_0_0", 0.5, seed_or_rng=3)
+        sub = aggregation_policy(ft4, 3)
+        with pytest.raises(InfeasibleError):
+            route_on_subnet(sub, traffic, scale_factor=8.0)
+
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    def test_all_policies_carry_light_traffic(self, ft4, search_traffic, level):
+        sub = aggregation_policy(ft4, level)
+        res = route_on_subnet(sub, search_traffic, 1.0)
+        validate_result(ft4, search_traffic, res)
+
+
+class TestSearchFlowsKExample:
+    def test_fig2_scale_factor_effect(self, ft4):
+        """Reproduce the Fig. 2 example: one 900 Mbps elephant plus two
+        20 Mbps latency-sensitive flows; raising K forces the mice off
+        the elephant's path."""
+        elephant = Flow("red", "h0_0_0", "h1_0_0", 900 * MBPS, FlowClass.LATENCY_TOLERANT)
+        blue = Flow("blue", "h0_0_1", "h1_0_1", 20 * MBPS, FlowClass.LATENCY_SENSITIVE, 5e-3)
+        green = Flow("green", "h0_1_0", "h1_1_0", 20 * MBPS, FlowClass.LATENCY_SENSITIVE, 5e-3)
+        traffic = TrafficSet([elephant, blue, green])
+        g = GreedyConsolidator(ft4)
+
+        res1 = g.consolidate(traffic, 1.0)
+        res3 = g.consolidate(traffic, 3.0)
+        validate_result(ft4, traffic, res1)
+        validate_result(ft4, traffic, res3)
+        assert res3.n_switches_on >= res1.n_switches_on
+
+        from repro.topology import path_links
+
+        def shares_core_links(res, mouse):
+            e_links = set(path_links(res.routing.path("red")))
+            m_links = set(path_links(res.routing.path(mouse)))
+            shared = {
+                l
+                for l in e_links & m_links
+                if not (ft4.is_host(l[0]) or ft4.is_host(l[1]))
+            }
+            return bool(shared)
+
+        # At K=3 the 60 Mbps reservation no longer fits beside the
+        # 900 Mbps elephant on any switch-switch link (950 usable).
+        assert not shares_core_links(res3, "blue")
+        assert not shares_core_links(res3, "green")

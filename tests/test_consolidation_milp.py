@@ -1,0 +1,73 @@
+"""Exact MILP consolidation (Eq. 2-9 on HiGHS).
+
+MILP runs are kept small (few flows) so the whole file solves in
+seconds; the heuristic-vs-MILP comparison is the key optimality check.
+"""
+
+import pytest
+
+from repro.consolidation import GreedyConsolidator, MilpConsolidator, validate_result
+from repro.errors import InfeasibleError, SolverError
+from repro.flows import Flow, FlowClass, TrafficSet, search_flows
+from repro.units import MBPS
+
+
+def small_traffic(ft4, n=6):
+    """A few cross-pod latency-sensitive flows + one elephant."""
+    flows = [
+        Flow(
+            f"q{i}",
+            ft4.hosts[i],
+            ft4.hosts[(i + 7) % ft4.n_hosts],
+            20 * MBPS,
+            FlowClass.LATENCY_SENSITIVE,
+            5e-3,
+        )
+        for i in range(n)
+    ]
+    flows.append(Flow("bg", ft4.hosts[0], ft4.hosts[12], 500 * MBPS, FlowClass.LATENCY_TOLERANT))
+    return TrafficSet(flows)
+
+
+class TestMilpConsolidator:
+    def test_result_valid(self, ft4):
+        traffic = small_traffic(ft4)
+        res = MilpConsolidator(ft4, time_limit_s=120).consolidate(traffic, 1.0)
+        validate_result(ft4, traffic, res)
+        assert res.solver == "milp"
+
+    def test_never_worse_than_heuristic(self, ft4):
+        traffic = small_traffic(ft4)
+        milp = MilpConsolidator(ft4, time_limit_s=120).consolidate(traffic, 1.0)
+        greedy = GreedyConsolidator(ft4).consolidate(traffic, 1.0)
+        assert milp.objective_watts <= greedy.objective_watts + 1e-6
+
+    def test_scale_factor_enforced(self, ft4):
+        """K large enough to exceed switch-link capacity is infeasible:
+        a single latency-sensitive flow of 200 Mbps at K=5 needs
+        1000 Mbps > the 950 Mbps usable capacity."""
+        traffic = TrafficSet(
+            [Flow("q", "h0_0_0", "h1_0_0", 200 * MBPS, FlowClass.LATENCY_SENSITIVE, 5e-3)]
+        )
+        m = MilpConsolidator(ft4, time_limit_s=60)
+        res = m.consolidate(traffic, 4.0)
+        validate_result(ft4, traffic, res)
+        with pytest.raises(InfeasibleError):
+            m.consolidate(traffic, 5.0)
+
+    def test_host_links_always_on(self, ft4):
+        traffic = small_traffic(ft4, n=2)
+        res = MilpConsolidator(ft4, time_limit_s=60).consolidate(traffic, 1.0)
+        for host in ft4.hosts:
+            assert res.subnet.is_link_on(host, ft4.attachment_switch(host))
+
+    def test_search_traffic_reaches_floor(self, ft4):
+        """Pure fan-out search traffic consolidates to the minimal
+        connected subnet (13 switches for k=4)."""
+        traffic = search_flows(ft4, "h0_0_0", include_replies=False)
+        res = MilpConsolidator(ft4, time_limit_s=300).consolidate(traffic, 1.0)
+        assert res.n_switches_on == 13
+
+    def test_invalid_time_limit(self, ft4):
+        with pytest.raises(SolverError):
+            MilpConsolidator(ft4, time_limit_s=0.0)

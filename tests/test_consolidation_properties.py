@@ -1,0 +1,104 @@
+"""Property-based consolidation tests over random traffic instances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consolidation import GreedyConsolidator, validate_result
+from repro.errors import InfeasibleError
+from repro.flows import Flow, FlowClass, TrafficSet
+from repro.topology import FatTree
+from repro.units import MBPS
+
+FT = FatTree(4)
+HOSTS = list(FT.hosts)
+
+
+#: All ordered host pairs, indexable by a single integer draw.
+_PAIRS = [(s, d) for s in range(len(HOSTS)) for d in range(len(HOSTS)) if s != d]
+
+
+@st.composite
+def traffic_instances(draw):
+    """Random mixed traffic, sized to stay comfortably routable."""
+    pair_indices = draw(
+        st.lists(st.integers(0, len(_PAIRS) - 1), min_size=1, max_size=14, unique=True)
+    )
+    n_lt = draw(st.integers(0, min(4, len(pair_indices) - 1)))
+    flows = []
+    for i, pi in enumerate(pair_indices):
+        src, dst = _PAIRS[pi]
+        if i >= len(pair_indices) - n_lt:
+            demand = draw(st.floats(50.0, 300.0)) * MBPS
+            flows.append(
+                Flow(f"e{i}", HOSTS[src], HOSTS[dst], demand,
+                     FlowClass.LATENCY_TOLERANT)
+            )
+        else:
+            demand = draw(st.floats(1.0, 30.0)) * MBPS
+            flows.append(
+                Flow(f"q{i}", HOSTS[src], HOSTS[dst], demand,
+                     FlowClass.LATENCY_SENSITIVE, 5e-3)
+            )
+    return TrafficSet(flows)
+
+
+class TestGreedyProperties:
+    @given(traffic_instances(), st.sampled_from([1.0, 2.0, 3.0]))
+    @settings(max_examples=30, deadline=None)
+    def test_success_implies_valid(self, traffic, k):
+        """Whenever the solver claims success, the plan is physically
+        valid: routed end-to-end over on devices within capacity."""
+        consolidator = GreedyConsolidator(FT)
+        try:
+            result = consolidator.consolidate(traffic, k)
+        except InfeasibleError:
+            return
+        validate_result(FT, traffic, result)
+
+    @given(traffic_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_endpoints_connected_in_subnet(self, traffic):
+        consolidator = GreedyConsolidator(FT)
+        try:
+            result = consolidator.consolidate(traffic, 1.0)
+        except InfeasibleError:
+            return
+        for flow in traffic:
+            assert result.subnet.connects(flow.src, flow.dst)
+
+    @given(traffic_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_objective_bounded_by_full_topology(self, traffic):
+        consolidator = GreedyConsolidator(FT)
+        try:
+            result = consolidator.consolidate(traffic, 1.0)
+        except InfeasibleError:
+            return
+        sw, ln = FT.full_subnet().network_power(
+            consolidator.switch_model, consolidator.link_model
+        )
+        assert result.objective_watts <= sw + ln + 1e-9
+        # And at least the always-on floor: 8 edge switches + 16 host links.
+        assert result.objective_watts >= 8 * 36.0 + 16 * 1.0 - 1e-9
+
+    @given(traffic_instances(), st.sampled_from([1.0, 2.5]))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic(self, traffic, k):
+        a = GreedyConsolidator(FT).consolidate(traffic, k, best_effort_scale=True)
+        b = GreedyConsolidator(FT).consolidate(traffic, k, best_effort_scale=True)
+        assert a.subnet.switches_on == b.subnet.switches_on
+        assert dict(a.routing.items()) == dict(b.routing.items())
+
+    @given(traffic_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_best_effort_never_fails_when_k1_succeeds(self, traffic):
+        """If the instance routes at K=1, best-effort succeeds at any K."""
+        consolidator = GreedyConsolidator(FT)
+        try:
+            consolidator.consolidate(traffic, 1.0)
+        except InfeasibleError:
+            return
+        result = consolidator.consolidate(traffic, 8.0, best_effort_scale=True)
+        validate_result(FT, traffic, result, check_reservations=False)
+        assert len(result.routing) == len(traffic)

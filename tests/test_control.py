@@ -1,0 +1,148 @@
+"""SDN control plane: monitor, reconfiguration plans, controller loop."""
+
+import pytest
+
+from repro.consolidation import GreedyConsolidator
+from repro.control import (
+    SWITCH_POWER_ON_S,
+    SdnController,
+    TrafficMonitor,
+    diff_routings,
+    diff_subnets,
+)
+from repro.errors import ConfigurationError
+from repro.flows import combined_traffic
+from repro.netsim import Routing
+from repro.topology import aggregation_policy
+
+
+class TestTrafficMonitor:
+    def test_prediction_replaces_demand(self, ft4, search_traffic):
+        m = TrafficMonitor(window=10)
+        fid = search_traffic.flows[0].flow_id
+        for rate in (5e6, 6e6, 7e6):
+            m.observe(fid, rate)
+        predicted = m.predicted_traffic(search_traffic)
+        assert predicted[fid].demand_bps == pytest.approx(m.predicted_demand(fid))
+
+    def test_unobserved_flows_keep_configured_demand(self, search_traffic):
+        m = TrafficMonitor()
+        predicted = m.predicted_traffic(search_traffic)
+        for flow in search_traffic:
+            assert predicted[flow.flow_id].demand_bps == flow.demand_bps
+
+    def test_epoch_batch(self):
+        m = TrafficMonitor()
+        m.observe_epoch({"a": [1.0, 2.0], "b": [3.0]})
+        assert m.n_tracked_flows() == 2
+        assert m.has_prediction("a")
+
+    def test_forget(self):
+        m = TrafficMonitor()
+        m.observe("a", 1.0)
+        m.forget("a")
+        assert not m.has_prediction("a")
+
+    def test_unknown_flow_raises(self):
+        with pytest.raises(ConfigurationError):
+            TrafficMonitor().predicted_demand("nope")
+
+    def test_prediction_floor_is_positive(self, search_traffic):
+        """A flow observed at zero rate still reserves >0 (flows need a
+        route even when momentarily idle)."""
+        m = TrafficMonitor(window=4)
+        fid = search_traffic.flows[0].flow_id
+        for _ in range(4):
+            m.observe(fid, 0.0)
+        predicted = m.predicted_traffic(search_traffic)
+        assert predicted[fid].demand_bps > 0
+
+
+class TestDiffs:
+    def test_routing_diff(self):
+        old = Routing({"a": ("x", "s", "y"), "b": ("x", "s", "y")})
+        new = Routing({"a": ("x", "t", "y"), "c": ("x", "s", "y")})
+        d = diff_routings(old, new)
+        assert set(d.rerouted) == {"a"}
+        assert set(d.added) == {"c"}
+        assert set(d.removed) == {"b"}
+        assert d.n_changes == 3
+
+    def test_routing_diff_from_none(self):
+        d = diff_routings(None, Routing({"a": ("x", "s", "y")}))
+        assert set(d.added) == {"a"}
+        assert not d.removed
+
+    def test_identical_routing_empty(self):
+        r = Routing({"a": ("x", "s", "y")})
+        assert diff_routings(r, r).is_empty
+
+    def test_subnet_diff(self, ft4):
+        lvl0 = aggregation_policy(ft4, 0)
+        lvl3 = aggregation_policy(ft4, 3)
+        d = diff_subnets(lvl0, lvl3)
+        assert len(d.switches_to_off) == 7  # 20 -> 13
+        assert not d.switches_to_on
+        d_back = diff_subnets(lvl3, lvl0)
+        assert len(d_back.switches_to_on) == 7
+        assert not d_back.switches_to_off
+
+    def test_subnet_diff_from_none(self, ft4):
+        d = diff_subnets(None, aggregation_policy(ft4, 3))
+        assert len(d.switches_to_on) == 13
+
+
+class TestSdnController:
+    def make(self, ft4, **kw):
+        return SdnController(GreedyConsolidator(ft4), **kw)
+
+    def test_first_epoch_installs_rules(self, ft4, mixed_traffic):
+        ctrl = self.make(ft4)
+        out = ctrl.run_epoch(mixed_traffic)
+        assert out.epoch == 0
+        assert len(out.plan.rules.added) == len(mixed_traffic)
+        assert ctrl.current_subnet is not None
+
+    def test_stable_traffic_stable_plan(self, ft4, mixed_traffic):
+        ctrl = self.make(ft4)
+        ctrl.run_epoch(mixed_traffic)
+        out2 = ctrl.run_epoch(mixed_traffic)
+        assert out2.plan.is_empty
+
+    def test_scale_factor_change_turns_switches_on(self, ft4):
+        traffic = combined_traffic(ft4, ft4.hosts[0], 0.2, seed_or_rng=1)
+        ctrl = self.make(ft4)
+        ctrl.run_epoch(traffic)
+        base = ctrl.current_subnet.n_switches_on
+        ctrl.set_scale_factor(4.0)
+        out = ctrl.run_epoch(traffic)
+        assert ctrl.current_subnet.n_switches_on >= base
+        assert ctrl.switch_power_on_count == len(out.plan.devices.switches_to_on)
+
+    def test_transition_downtime_accounting(self, ft4):
+        traffic = combined_traffic(ft4, ft4.hosts[0], 0.2, seed_or_rng=1)
+        ctrl = self.make(ft4)
+        ctrl.run_epoch(traffic)
+        ctrl.set_scale_factor(4.0)
+        ctrl.run_epoch(traffic)
+        assert ctrl.transition_downtime_s() == pytest.approx(
+            ctrl.switch_power_on_count * SWITCH_POWER_ON_S
+        )
+
+    def test_monitor_feeds_prediction(self, ft4, mixed_traffic):
+        ctrl = self.make(ft4)
+        fid = mixed_traffic.flows[0].flow_id
+        for rate in (1e6, 2e6, 3e6):
+            ctrl.monitor.observe(fid, rate)
+        out = ctrl.run_epoch(mixed_traffic)
+        # The epoch consolidated the *predicted* demand for that flow.
+        assert out.predicted_total_demand_bps != mixed_traffic.total_demand_bps()
+
+    def test_invalid_params(self, ft4):
+        with pytest.raises(ConfigurationError):
+            self.make(ft4, scale_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            self.make(ft4, optimization_period_s=0.0)
+        ctrl = self.make(ft4)
+        with pytest.raises(ConfigurationError):
+            ctrl.set_scale_factor(0.9)

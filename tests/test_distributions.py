@@ -1,0 +1,259 @@
+"""Work distributions: grids, CCDF, convolution, conditioning.
+
+These are the correctness foundation of every VP-based governor, so
+they get property-based coverage via hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.server import ConvolutionCache, WorkDistribution
+
+DX = 1e-4
+
+
+def dist_from(pmf):
+    return WorkDistribution(DX, pmf)
+
+
+@st.composite
+def pmfs(draw, max_bins=40):
+    n = draw(st.integers(2, max_bins))
+    weights = draw(
+        st.lists(st.floats(0.0, 1.0), min_size=n, max_size=n).filter(
+            lambda w: sum(w) > 1e-6
+        )
+    )
+    return weights
+
+
+class TestConstruction:
+    def test_normalizes(self):
+        d = dist_from([2.0, 2.0])
+        assert d.pmf.sum() == pytest.approx(1.0)
+        assert d.pmf[0] == pytest.approx(0.5)
+
+    def test_trims_trailing_zeros(self):
+        d = dist_from([1.0, 1.0, 0.0, 0.0])
+        assert d.n_bins == 2
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dist_from([0.5, -0.5])
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dist_from([0.0, 0.0])
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkDistribution(0.0, [1.0])
+
+    def test_point_mass(self):
+        d = WorkDistribution.point_mass(DX, 5 * DX)
+        assert d.mean() == pytest.approx(5 * DX)
+        assert d.ccdf(4.5 * DX) == pytest.approx(1.0)
+        assert d.ccdf(5 * DX) == pytest.approx(0.0)
+
+    def test_from_samples_histogram(self):
+        samples = np.array([0.0, DX, DX, 2 * DX])
+        d = WorkDistribution.from_samples(samples, DX)
+        assert d.pmf == pytest.approx([0.25, 0.5, 0.25])
+
+    def test_from_samples_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkDistribution.from_samples([], DX)
+
+    def test_from_lognormal_stats(self):
+        median, sigma = 3e-3, 0.5
+        d = WorkDistribution.from_lognormal(median, sigma, dx=2e-5)
+        expected_mean = median * np.exp(sigma**2 / 2.0)
+        assert d.mean() == pytest.approx(expected_mean, rel=0.01)
+        assert d.quantile(0.5) == pytest.approx(median, rel=0.02)
+
+
+class TestCcdf:
+    def test_negative_threshold_is_one(self):
+        assert dist_from([1.0]).ccdf(-1.0) == 1.0
+
+    def test_beyond_support_is_zero(self):
+        d = dist_from([0.5, 0.5])
+        assert d.ccdf(10 * DX) == 0.0
+
+    def test_known_values(self):
+        d = dist_from([0.25, 0.25, 0.5])  # mass at 0, dx, 2dx
+        assert d.ccdf(0.0) == pytest.approx(0.75)
+        assert d.ccdf(DX) == pytest.approx(0.5)
+        assert d.ccdf(2 * DX) == pytest.approx(0.0)
+
+    def test_ccdf_many_matches_scalar(self):
+        d = dist_from([0.1, 0.2, 0.3, 0.4])
+        ts = np.array([-1.0, 0.0, 0.5 * DX, DX, 2 * DX, 3 * DX, 99.0])
+        many = d.ccdf_many(ts)
+        for t, v in zip(ts, many):
+            assert v == pytest.approx(d.ccdf(float(t)))
+
+    @given(pmfs())
+    @settings(max_examples=50)
+    def test_ccdf_monotone_nonincreasing(self, pmf):
+        d = dist_from(pmf)
+        ts = np.arange(-1, d.n_bins + 2) * DX
+        vals = d.ccdf_many(ts)
+        assert np.all(np.diff(vals) <= 1e-12)
+
+
+class TestQuantileAndMoments:
+    def test_quantile_bounds(self):
+        d = dist_from([0.5, 0.3, 0.2])
+        assert d.quantile(0.5) == pytest.approx(0.0)
+        assert d.quantile(0.81) == pytest.approx(2 * DX)
+        assert d.quantile(1.0) == pytest.approx(2 * DX)
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ConfigurationError):
+            dist_from([1.0]).quantile(0.0)
+
+    def test_mean_variance(self):
+        d = dist_from([0.5, 0.0, 0.5])  # mass at 0 and 2dx
+        assert d.mean() == pytest.approx(DX)
+        assert d.variance() == pytest.approx(DX**2)
+
+
+class TestConvolve:
+    def test_point_masses_add(self):
+        a = WorkDistribution.point_mass(DX, 2 * DX)
+        b = WorkDistribution.point_mass(DX, 3 * DX)
+        c = a.convolve(b)
+        assert c.mean() == pytest.approx(5 * DX)
+        assert c.ccdf(4.5 * DX) == pytest.approx(1.0)
+
+    def test_mean_additivity(self):
+        a = dist_from([0.2, 0.5, 0.3])
+        b = dist_from([0.7, 0.3])
+        assert a.convolve(b).mean() == pytest.approx(a.mean() + b.mean())
+
+    def test_variance_additivity(self):
+        a = dist_from([0.2, 0.5, 0.3])
+        b = dist_from([0.7, 0.3])
+        assert a.convolve(b).variance() == pytest.approx(a.variance() + b.variance())
+
+    def test_matches_direct_convolution(self):
+        a = dist_from([0.25, 0.75])
+        b = dist_from([0.5, 0.25, 0.25])
+        c = a.convolve(b)
+        assert c.pmf == pytest.approx(np.convolve(a.pmf, b.pmf))
+
+    def test_grid_mismatch_rejected(self):
+        a = WorkDistribution(1e-4, [1.0, 1.0])
+        b = WorkDistribution(2e-4, [1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            a.convolve(b)
+
+    def test_truncation_preserves_ccdf_below_cap(self):
+        a = dist_from(np.ones(100))
+        c = a.convolve(a, max_bins=120)
+        full = a.convolve(a, max_bins=10_000)
+        assert c.truncated
+        for t in np.arange(0, 100) * DX:
+            assert c.ccdf(float(t)) == pytest.approx(full.ccdf(float(t)), abs=1e-12)
+
+    @given(pmfs(), pmfs())
+    @settings(max_examples=30)
+    def test_convolution_commutes(self, p1, p2):
+        a, b = dist_from(p1), dist_from(p2)
+        ab, ba = a.convolve(b), b.convolve(a)
+        assert ab.pmf == pytest.approx(ba.pmf, abs=1e-12)
+
+    @given(pmfs())
+    @settings(max_examples=30)
+    def test_sum_stochastically_dominates_parts(self, pmf):
+        """W1 + W2 >= W1 pointwise => CCDF of the sum dominates."""
+        d = dist_from(pmf)
+        s = d.convolve(d)
+        ts = np.arange(d.n_bins + 2) * DX
+        assert np.all(s.ccdf_many(ts) >= d.ccdf_many(ts) - 1e-12)
+
+
+class TestConditionalRemaining:
+    def test_zero_completed_is_identity(self):
+        d = dist_from([0.25, 0.25, 0.5])
+        assert d.conditional_remaining(0.0) is d
+
+    def test_shift_and_renormalize(self):
+        d = dist_from([0.5, 0.25, 0.25])  # mass at 0, dx, 2dx
+        r = d.conditional_remaining(DX)
+        # Given W >= dx: remaining is 0 w.p. 0.5, dx w.p. 0.5.
+        assert r.pmf == pytest.approx([0.5, 0.5])
+
+    def test_exhausted_support_point_mass(self):
+        d = dist_from([0.5, 0.5])
+        r = d.conditional_remaining(10 * DX)
+        assert r.mean() == pytest.approx(0.0)
+
+    def test_cache_returns_same_object(self):
+        d = dist_from([0.25, 0.25, 0.5])
+        assert d.conditional_remaining(DX) is d.conditional_remaining(DX)
+
+    def test_negative_completed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dist_from([1.0]).conditional_remaining(-1.0)
+
+    @given(pmfs(), st.integers(0, 10))
+    @settings(max_examples=40)
+    def test_remaining_support_shrinks_by_completed(self, pmf, k):
+        """Remaining work is supported on [0, max - completed].  (The
+        remaining *mean* can exceed the original mean — residual-life
+        inflation under heavy tails — so only the support contracts.)"""
+        d = dist_from(pmf)
+        r = d.conditional_remaining(k * DX)
+        assert r.max_value <= max(0.0, d.max_value - k * DX) + 1e-12
+
+    @given(pmfs(), st.integers(0, 10))
+    @settings(max_examples=40)
+    def test_remaining_is_normalized(self, pmf, k):
+        d = dist_from(pmf)
+        r = d.conditional_remaining(k * DX)
+        assert r.pmf.sum() == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sample_distribution_converges(self, rng):
+        d = dist_from([0.25, 0.25, 0.5])
+        s = d.sample(100_000, rng)
+        assert s.mean() == pytest.approx(d.mean(), rel=0.02)
+
+    def test_samples_on_grid(self, rng):
+        d = dist_from([0.5, 0.5])
+        s = d.sample(100, rng)
+        assert set(np.round(s / DX)) <= {0.0, 1.0}
+
+
+class TestConvolutionCache:
+    def test_power_zero_is_point_mass_at_zero(self):
+        cache = ConvolutionCache(dist_from([0.5, 0.5]))
+        assert cache.power(0).mean() == pytest.approx(0.0)
+
+    def test_power_one_is_base(self):
+        base = dist_from([0.5, 0.5])
+        assert ConvolutionCache(base).power(1) is base
+
+    def test_power_k_mean_scales(self):
+        base = dist_from([0.2, 0.5, 0.3])
+        cache = ConvolutionCache(base)
+        for k in (2, 3, 5):
+            assert cache.power(k).mean() == pytest.approx(k * base.mean(), rel=1e-9)
+
+    def test_equivalent_matches_explicit_convolution(self):
+        base = dist_from([0.2, 0.5, 0.3])
+        head = dist_from([0.9, 0.1])
+        cache = ConvolutionCache(base)
+        eq = cache.equivalent(head, 2)
+        explicit = head.convolve(base).convolve(base)
+        assert eq.pmf == pytest.approx(explicit.pmf, abs=1e-12)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConvolutionCache(dist_from([1.0])).power(-1)

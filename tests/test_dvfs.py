@@ -1,0 +1,93 @@
+"""DVFS frequency ladder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server import XEON_LADDER, FrequencyLadder
+from repro.units import GHZ, MHZ
+
+
+class TestXeonLadder:
+    def test_sixteen_steps(self):
+        """1.2-2.7 GHz in 100 MHz steps = 16 settings (Section V-A)."""
+        assert len(XEON_LADDER) == 16
+
+    def test_endpoints(self):
+        assert XEON_LADDER.f_min == pytest.approx(1.2 * GHZ)
+        assert XEON_LADDER.f_max == pytest.approx(2.7 * GHZ)
+
+    def test_uniform_steps(self):
+        diffs = np.diff(XEON_LADDER.frequencies)
+        assert np.allclose(diffs, 100 * MHZ)
+
+
+class TestFrequencyLadder:
+    def test_sorted_and_indexable(self):
+        l = FrequencyLadder([2e9, 1e9, 3e9])
+        assert l[0] == 1e9 and l[2] == 3e9
+
+    def test_contains(self):
+        assert 1.5 * GHZ in XEON_LADDER
+        assert 1.55 * GHZ not in XEON_LADDER
+
+    def test_index_of(self):
+        assert XEON_LADDER.index_of(1.2 * GHZ) == 0
+        assert XEON_LADDER.index_of(2.7 * GHZ) == 15
+        with pytest.raises(ConfigurationError):
+            XEON_LADDER.index_of(1.55 * GHZ)
+
+    def test_clamp(self):
+        assert XEON_LADDER.clamp(0.5 * GHZ) == pytest.approx(1.2 * GHZ)
+        assert XEON_LADDER.clamp(5.0 * GHZ) == pytest.approx(2.7 * GHZ)
+        # Clamp rounds *up* (meeting a deadline needs at-least speed).
+        assert XEON_LADDER.clamp(1.55 * GHZ) == pytest.approx(1.6 * GHZ)
+        assert XEON_LADDER.clamp(1.6 * GHZ) == pytest.approx(1.6 * GHZ)
+
+    def test_step_up_down_saturate(self):
+        assert XEON_LADDER.step_up(2.7 * GHZ) == pytest.approx(2.7 * GHZ)
+        assert XEON_LADDER.step_down(1.2 * GHZ) == pytest.approx(1.2 * GHZ)
+        assert XEON_LADDER.step_up(1.2 * GHZ, 2) == pytest.approx(1.4 * GHZ)
+        assert XEON_LADDER.step_down(2.7 * GHZ, 3) == pytest.approx(2.4 * GHZ)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder([1e9, 1e9])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder([0.0, 1e9])
+
+    def test_from_range_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder.from_range(2e9, 1e9)
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder.from_range(1e9, 2e9, step_hz=0.0)
+
+
+class TestLowestSatisfying:
+    def test_finds_threshold(self):
+        # predicate true for f >= 2.0 GHz
+        f = XEON_LADDER.lowest_satisfying(lambda f: f >= 2.0 * GHZ)
+        assert f == pytest.approx(2.0 * GHZ)
+
+    def test_all_true_gives_min(self):
+        assert XEON_LADDER.lowest_satisfying(lambda f: True) == pytest.approx(1.2 * GHZ)
+
+    def test_none_when_unsatisfiable(self):
+        assert XEON_LADDER.lowest_satisfying(lambda f: False) is None
+
+    def test_only_max_satisfies(self):
+        f = XEON_LADDER.lowest_satisfying(lambda f: f > 2.65 * GHZ)
+        assert f == pytest.approx(2.7 * GHZ)
+
+    def test_matches_linear_scan(self):
+        """Binary search equals linear scan for every threshold."""
+        for threshold in XEON_LADDER.frequencies:
+            pred = lambda f, t=threshold: f >= t
+            expected = next(f for f in XEON_LADDER if pred(f))
+            assert XEON_LADDER.lowest_satisfying(pred) == pytest.approx(expected)

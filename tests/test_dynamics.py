@@ -1,0 +1,135 @@
+"""Flow churn dynamics and the controller's MILP fallback."""
+
+import pytest
+
+from repro.consolidation import GreedyConsolidator, validate_result
+from repro.control import SdnController
+from repro.errors import ConfigurationError
+from repro.flows import FlowChurnModel
+from repro.workloads import SearchWorkload
+
+
+class TestFlowChurnModel:
+    def test_population_size_constant(self, ft4):
+        churn = FlowChurnModel(ft4, seed_or_rng=1)
+        for _ in range(5):
+            ts = churn.advance(0.3)
+            assert len(ts) == 16
+
+    def test_flows_persist_and_die(self, ft4):
+        churn = FlowChurnModel(ft4, mean_lifetime_epochs=4.0, seed_or_rng=1)
+        first = {f.flow_id for f in churn.advance(0.3)}
+        second = {f.flow_id for f in churn.advance(0.3)}
+        survivors = first & second
+        assert survivors  # some persist
+        assert second - first  # some replaced
+        assert churn.deaths == len(first - second)
+        assert churn.births == 16 + len(second - first)
+
+    def test_demands_track_target(self, ft4):
+        churn = FlowChurnModel(ft4, seed_or_rng=2)
+        ts = churn.advance(0.4)
+        target = 0.4 * 1e9
+        for f in ts:
+            assert 0.5 * target <= f.demand_bps <= 1.5 * target
+
+    def test_demand_ceiling(self, ft4):
+        churn = FlowChurnModel(ft4, max_demand_fraction=0.75, seed_or_rng=2)
+        ts = churn.advance(0.6)
+        for f in ts:
+            assert f.demand_bps <= 0.75 * 1e9 + 1e-6
+
+    def test_endpoints_balanced(self, ft4):
+        """One source and one destination per host (routability)."""
+        from collections import Counter
+
+        churn = FlowChurnModel(ft4, seed_or_rng=3)
+        for _ in range(6):
+            ts = churn.advance(0.5)
+        srcs = Counter(f.src for f in ts)
+        dsts = Counter(f.dst for f in ts)
+        assert max(srcs.values()) == 1
+        assert max(dsts.values()) == 1
+
+    def test_population_routable_at_high_load(self, ft4):
+        churn = FlowChurnModel(ft4, seed_or_rng=4)
+        wl = SearchWorkload(ft4)
+        g = GreedyConsolidator(ft4)
+        for _ in range(8):
+            traffic = churn.advance(0.45).merged_with(wl.query_flows())
+            res = g.consolidate(traffic, 1.0, best_effort_scale=True)
+            validate_result(ft4, traffic, res, check_reservations=False)
+
+    def test_deterministic(self, ft4):
+        a = FlowChurnModel(ft4, seed_or_rng=5)
+        b = FlowChurnModel(ft4, seed_or_rng=5)
+        for _ in range(3):
+            ta, tb = a.advance(0.3), b.advance(0.3)
+            assert [f.flow_id for f in ta] == [f.flow_id for f in tb]
+            assert [f.demand_bps for f in ta] == [f.demand_bps for f in tb]
+
+    def test_invalid_params(self, ft4):
+        with pytest.raises(ConfigurationError):
+            FlowChurnModel(ft4, mean_lifetime_epochs=0.5)
+        with pytest.raises(ConfigurationError):
+            FlowChurnModel(ft4, demand_jitter=1.0)
+        with pytest.raises(ConfigurationError):
+            FlowChurnModel(ft4, max_demand_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            FlowChurnModel(ft4, n_flows=0)
+        churn = FlowChurnModel(ft4)
+        with pytest.raises(ConfigurationError):
+            churn.advance(1.0)
+
+
+class TestMilpFallback:
+    def test_fallback_disabled_raises(self, ft4):
+        """Without a fallback limit, an unpackable epoch raises."""
+        from repro.errors import InfeasibleError
+        from repro.flows import Flow, FlowClass, TrafficSet
+
+        # Two 600 Mbps elephants from the same host cannot be routed.
+        traffic = TrafficSet(
+            [
+                Flow(f"e{i}", "h0_0_0", "h1_0_0", 6e8, FlowClass.LATENCY_TOLERANT)
+                for i in range(2)
+            ]
+        )
+        ctrl = SdnController(GreedyConsolidator(ft4))
+        with pytest.raises(InfeasibleError):
+            ctrl.run_epoch(traffic)
+
+    def test_fallback_absorbs_heuristic_failure(self, ft4):
+        """When the heuristic strands a flow, the controller retries
+        with the exact MILP and adopts its result."""
+        from repro.errors import InfeasibleError
+
+        class AlwaysStrands(GreedyConsolidator):
+            def consolidate(self, traffic, scale_factor=1.0, **kwargs):
+                raise InfeasibleError("greedy stranded a flow")
+
+        wl = SearchWorkload(ft4)
+        traffic = wl.query_flows()
+        ctrl = SdnController(AlwaysStrands(ft4), milp_fallback_time_limit_s=120.0)
+        out = ctrl.run_epoch(traffic)
+        assert ctrl.milp_fallback_count == 1
+        assert out.result.solver == "milp"
+        assert ctrl.current_subnet is not None
+        validate_result(ft4, traffic, out.result)
+
+    def test_fallback_preserves_genuine_infeasibility(self, ft4):
+        """Physically unroutable traffic still raises, fallback or not."""
+        from repro.errors import InfeasibleError
+        from repro.flows import Flow, FlowClass, TrafficSet
+
+        traffic = TrafficSet(
+            [
+                Flow(f"e{i}", "h0_0_0", "h1_0_0", 6e8, FlowClass.LATENCY_TOLERANT)
+                for i in range(2)
+            ]
+        )
+        ctrl = SdnController(
+            GreedyConsolidator(ft4), milp_fallback_time_limit_s=60.0
+        )
+        with pytest.raises(InfeasibleError):
+            ctrl.run_epoch(traffic)

@@ -1,0 +1,52 @@
+"""Bandwidth-only (ElasticTree-style) baseline consolidator."""
+
+import pytest
+
+from repro.consolidation import (
+    ElasticTreeConsolidator,
+    GreedyConsolidator,
+    validate_result,
+)
+from repro.netsim import NetworkModel
+from repro.workloads import SearchWorkload
+
+
+@pytest.fixture()
+def workload(ft4):
+    return SearchWorkload(ft4)
+
+
+class TestElasticTree:
+    def test_ignores_scale_factor(self, ft4, workload):
+        traffic = workload.traffic(0.2, seed_or_rng=1)
+        baseline = ElasticTreeConsolidator(ft4)
+        r1 = baseline.consolidate(traffic, 1.0)
+        r4 = baseline.consolidate(traffic, 4.0)
+        assert r4.scale_factor == 1.0
+        assert r4.subnet.switches_on == r1.subnet.switches_on
+        assert dict(r4.routing.items()) == dict(r1.routing.items())
+
+    def test_matches_greedy_at_k1(self, ft4, workload):
+        traffic = workload.traffic(0.2, seed_or_rng=1)
+        baseline = ElasticTreeConsolidator(ft4).consolidate(traffic, 1.0)
+        greedy = GreedyConsolidator(ft4).consolidate(traffic, 1.0)
+        assert baseline.subnet.switches_on == greedy.subnet.switches_on
+
+    def test_result_physically_valid(self, ft4, workload):
+        traffic = workload.traffic(0.3, seed_or_rng=1)
+        res = ElasticTreeConsolidator(ft4).consolidate(traffic, 8.0)
+        validate_result(ft4, traffic, res)
+
+    def test_latency_aware_beats_baseline_on_tails(self, ft4, workload):
+        """The paper's motivating claim: bandwidth-only consolidation
+        schedules queries onto hot links; latency-aware K moves them."""
+        traffic = workload.traffic(0.2, seed_or_rng=1)
+        base = ElasticTreeConsolidator(ft4).consolidate(traffic, 4.0)
+        aware = GreedyConsolidator(ft4).consolidate(traffic, 4.0, best_effort_scale=True)
+
+        def p99(res):
+            nm = NetworkModel(ft4, traffic, res.routing)
+            return nm.query_latency_summary(n_per_flow=1500, seed_or_rng=2).p99
+
+        assert p99(aware) < p99(base) / 2
+        assert aware.n_switches_on >= base.n_switches_on

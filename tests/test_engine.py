@@ -1,0 +1,127 @@
+"""Discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventLoop
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.run_to_completion()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append(1))
+        loop.schedule(1.0, lambda: order.append(2))
+        loop.run_to_completion()
+        assert order == [1, 2]
+
+    def test_now_advances(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(2.5, lambda: seen.append(loop.now))
+        loop.run_to_completion()
+        assert seen == [2.5]
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run_to_completion()
+        with pytest.raises(SimulationError):
+            loop.schedule(0.5, lambda: None)
+
+    def test_schedule_after(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule(1.0, lambda: loop.schedule_after(0.5, lambda: times.append(loop.now)))
+        loop.run_to_completion()
+        assert times == [1.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule_after(-1.0, lambda: None)
+
+
+class TestCancel:
+    def test_cancelled_event_skipped(self):
+        loop = EventLoop()
+        fired = []
+        h = loop.schedule(1.0, lambda: fired.append("x"))
+        EventLoop.cancel(h)
+        loop.run_to_completion()
+        assert fired == []
+        assert h.cancelled
+
+    def test_cancel_one_of_many(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append("a"))
+        h = loop.schedule(2.0, lambda: fired.append("b"))
+        loop.schedule(3.0, lambda: fired.append("c"))
+        EventLoop.cancel(h)
+        loop.run_to_completion()
+        assert fired == ["a", "c"]
+
+    def test_pending_count_excludes_cancelled(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        h = loop.schedule(2.0, lambda: None)
+        EventLoop.cancel(h)
+        assert loop.n_pending == 1
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        loop.run_until(2.0)
+        assert fired == [1]
+        assert loop.now == pytest.approx(2.0)
+
+    def test_inclusive_boundary(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, lambda: fired.append(2))
+        loop.run_until(2.0)
+        assert fired == [2]
+
+    def test_backwards_rejected(self):
+        loop = EventLoop()
+        loop.run_until(5.0)
+        with pytest.raises(SimulationError):
+            loop.run_until(4.0)
+
+    def test_remaining_events_still_pending(self):
+        loop = EventLoop()
+        loop.schedule(10.0, lambda: None)
+        loop.run_until(1.0)
+        assert loop.n_pending == 1
+
+
+class TestRunaway:
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.schedule_after(0.1, reschedule)
+
+        loop.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            loop.run_to_completion(max_events=100)
+
+    def test_n_processed_counts(self):
+        loop = EventLoop()
+        for t in (1.0, 2.0):
+            loop.schedule(t, lambda: None)
+        loop.run_to_completion()
+        assert loop.n_processed == 2

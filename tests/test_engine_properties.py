@@ -1,0 +1,72 @@
+"""Property-based tests for the event loop."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import EventLoop
+
+
+class TestEventLoopProperties:
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_execution_order_is_time_order(self, times):
+        loop = EventLoop()
+        fired = []
+        for t in times:
+            loop.schedule(t, lambda t=t: fired.append(t))
+        loop.run_to_completion()
+        assert fired == sorted(times)
+        assert loop.n_processed == len(times)
+
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30),
+        st.data(),
+    )
+    @settings(max_examples=30)
+    def test_cancellation_removes_exactly_the_cancelled(self, times, data):
+        loop = EventLoop()
+        fired = []
+        handles = [loop.schedule(t, lambda t=t: fired.append(t)) for t in times]
+        n_cancel = data.draw(st.integers(0, len(handles)))
+        for h in handles[:n_cancel]:
+            EventLoop.cancel(h)
+        loop.run_to_completion()
+        assert fired == sorted(times[n_cancel:])
+
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30),
+        st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=40)
+    def test_run_until_is_a_clean_split(self, times, boundary):
+        """run_until(T) fires exactly the events at or before T, and a
+        subsequent full drain fires the rest — no loss, no duplication."""
+        loop = EventLoop()
+        fired = []
+        for t in times:
+            loop.schedule(t, lambda t=t: fired.append(t))
+        loop.run_until(boundary)
+        early = list(fired)
+        assert early == sorted(t for t in times if t <= boundary)
+        loop.run_to_completion()
+        assert fired == sorted(times)
+
+    @given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_reentrant_scheduling(self, delays):
+        """Events scheduled from inside callbacks still run in order."""
+        loop = EventLoop()
+        fired = []
+
+        def chain(remaining):
+            def cb():
+                fired.append(loop.now)
+                if remaining:
+                    loop.schedule_after(remaining[0], chain(remaining[1:]))
+
+            return cb
+
+        loop.schedule(0.0, chain(delays))
+        loop.run_to_completion()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays) + 1

@@ -1,0 +1,121 @@
+"""Experiment infrastructure and fast-figure smoke tests.
+
+Heavy figures (fig12/13/15) are exercised at full scale by the
+benchmark suite; here we validate the registry, the table machinery,
+and the cheap figures' invariants.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import REGISTRY, ExperimentResult, format_table
+from repro.experiments import (
+    ablation_network,
+    fig01_knee,
+    fig02_scale_factor,
+    fig04_violation_prob,
+    fig08_switch_power,
+    fig09_aggregation,
+    fig14_trace,
+    scaling,
+)
+
+
+class TestExperimentResult:
+    def test_add_and_column(self):
+        r = ExperimentResult("figX", "t", ("a", "b"))
+        r.add(1, 2.0)
+        r.add(3, 4.0)
+        assert r.column("a") == [1, 3]
+        assert r.column("b") == [2.0, 4.0]
+
+    def test_wrong_arity_rejected(self):
+        r = ExperimentResult("figX", "t", ("a", "b"))
+        with pytest.raises(ConfigurationError):
+            r.add(1)
+
+    def test_unknown_column_rejected(self):
+        r = ExperimentResult("figX", "t", ("a",))
+        with pytest.raises(ConfigurationError):
+            r.column("z")
+
+    def test_str_contains_rows(self):
+        r = ExperimentResult("figX", "title", ("col",), notes="note")
+        r.add(42)
+        text = str(r)
+        assert "figX" in text and "42" in text and "note" in text
+
+    def test_format_table_alignment(self):
+        t = format_table(("name", "v"), [("x", 1.0), ("longer", 123456.0)])
+        lines = t.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # all padded equal
+
+
+class TestRegistry:
+    EXPECTED = {
+        "fig01", "fig02", "fig04", "fig05", "fig08", "fig09", "fig10",
+        "fig11", "fig12a", "fig12b", "fig12c", "fig13", "fig14", "fig15",
+        "ablation-server", "ablation-network", "scaling",
+    }
+
+    def test_every_figure_registered(self):
+        assert self.EXPECTED <= set(REGISTRY)
+
+    def test_entries_callable(self):
+        for fn in REGISTRY.values():
+            assert callable(fn)
+
+
+class TestCheapFigures:
+    def test_fig01_monotone(self):
+        r = fig01_knee.run(utilizations=(0.1, 0.5, 0.9), n_samples=2000)
+        means = r.column("mean_us")
+        assert means == sorted(means)
+
+    def test_fig02_k_separates(self):
+        r = fig02_scale_factor.run(scale_factors=(1.0, 3.0), n_samples=1000)
+        assert r.rows[0][2] and not r.rows[1][2]
+
+    def test_fig04_rules_relation(self):
+        r = fig04_violation_prob.run_fig4()
+        assert "f2" in r.notes and "f_new" in r.notes
+
+    def test_fig05_rows(self):
+        r = fig04_violation_prob.run_fig5(n_points=8)
+        assert len(r.rows) == 8
+
+    def test_fig08_flat(self):
+        r = fig08_switch_power.run()
+        assert max(r.column("delta_pct")) < 1.0
+
+    def test_fig09_counts(self):
+        r = fig09_aggregation.run()
+        assert r.column("switches_on") == [20, 19, 14, 13]
+
+    def test_fig09_generalizes_to_k6(self):
+        r = fig09_aggregation.run(k=6)
+        counts = r.column("switches_on")
+        assert counts == sorted(counts, reverse=True)
+        assert all(r.column("hosts_connected"))
+
+    def test_fig14_row_count(self):
+        r = fig14_trace.run()
+        assert len(r.rows) == 24
+
+    def test_ablation_network_shape(self):
+        r = ablation_network.run(backgrounds=(0.2,), scale_factors=(4.0,), n_per_flow=800)
+        rows = {row[1]: row for row in r.rows}
+        assert rows["latency-aware K=4"][4] < rows["bandwidth-only"][4]
+
+    def test_scaling_small(self):
+        r = scaling.run(heuristic_cases=((4, 30),), milp_cases=((4, 6),), milp_time_limit_s=60)
+        rows = {row[0]: row for row in r.rows}
+        assert rows["heuristic"][3] < rows["milp"][3]  # heuristic faster
+        # Heuristic objective within 15% of the exact optimum here.
+        assert rows["heuristic"][5] <= rows["milp"][5] * 1.15
+
+    def test_random_traffic_generator(self, ft4):
+        ts = scaling.random_traffic(ft4, 40, seed=1)
+        assert len(ts) == 40
+        assert len(ts.latency_tolerant) == 4

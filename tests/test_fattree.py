@@ -1,0 +1,96 @@
+"""k-ary fat-tree structure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.topology import FatTree, NodeKind
+
+
+class TestFatTree4:
+    """The paper's platform: k=4 -> 16 hosts, 20 switches, 48 links."""
+
+    def test_counts(self, ft4):
+        assert ft4.n_hosts == 16
+        assert ft4.n_switches == 20
+        assert ft4.n_links == 48
+
+    def test_switch_kind_counts(self, ft4):
+        assert len(ft4.switches_of_kind(NodeKind.CORE)) == 4
+        assert len(ft4.switches_of_kind(NodeKind.AGG)) == 8
+        assert len(ft4.switches_of_kind(NodeKind.EDGE)) == 8
+
+    def test_pods(self, ft4):
+        assert ft4.n_pods == 4
+        for pod in range(4):
+            assert len(ft4.hosts_in_pod(pod)) == 4
+            assert len(ft4.edge_switches_in_pod(pod)) == 2
+            assert len(ft4.agg_switches_in_pod(pod)) == 2
+
+    def test_core_groups(self, ft4):
+        assert ft4.n_core_groups == 2
+        for g in range(2):
+            assert len(ft4.cores_in_group(g)) == 2
+
+    def test_core_connects_to_its_group_aggs(self, ft4):
+        core = ft4.core_name(1, 0)
+        for nbr in ft4.neighbors(core):
+            assert ft4.kind(nbr) == NodeKind.AGG
+            assert ft4.agg_index_of(nbr) == 1
+        assert len(list(ft4.neighbors(core))) == 4  # one agg per pod
+
+    def test_edge_connects_hosts_and_aggs(self, ft4):
+        edge = ft4.edge_name(0, 0)
+        kinds = sorted(ft4.kind(n) for n in ft4.neighbors(edge))
+        assert kinds == [NodeKind.AGG, NodeKind.AGG, NodeKind.HOST, NodeKind.HOST]
+
+    def test_link_capacity_default_1gbps(self, ft4):
+        assert ft4.capacity("h0_0_0", "e0_0") == pytest.approx(1e9)
+
+    def test_pod_of(self, ft4):
+        assert ft4.pod_of("h2_1_0") == 2
+        assert ft4.pod_of("a3_1") == 3
+        assert ft4.pod_of("e1_0") == 1
+        with pytest.raises(ConfigurationError):
+            ft4.pod_of("c0_0")
+
+    def test_host_degree_is_one(self, ft4):
+        for host in ft4.hosts:
+            assert len(list(ft4.neighbors(host))) == 1
+
+
+class TestFatTreeGeneral:
+    @given(st.sampled_from([2, 4, 6, 8]))
+    def test_structural_formulas(self, k):
+        ft = FatTree(k)
+        assert ft.n_hosts == k**3 // 4
+        assert ft.n_switches == 5 * k**2 // 4
+        assert ft.n_links == 3 * k**3 // 4
+
+    def test_odd_arity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FatTree(3)
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FatTree(0)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FatTree(4, link_capacity_bps=0.0)
+
+    def test_custom_capacity(self):
+        ft = FatTree(4, link_capacity_bps=10e9)
+        assert ft.capacity("h0_0_0", "e0_0") == pytest.approx(10e9)
+
+    def test_k6_connected(self, ft6):
+        assert ft6.full_subnet().connects_all_hosts()
+
+    def test_invalid_group_raises(self, ft4):
+        with pytest.raises(ConfigurationError):
+            ft4.cores_in_group(5)
+
+    def test_invalid_pod_raises(self, ft4):
+        with pytest.raises(ConfigurationError):
+            ft4.hosts_in_pod(4)

@@ -1,0 +1,107 @@
+"""Tiny-scale smoke tests for the heavy figure drivers.
+
+The benchmark suite runs these experiments at meaningful scale with
+shape assertions; here they run at the smallest sensible scale so
+``pytest tests/`` alone exercises every experiment code path.
+"""
+
+import pytest
+
+from repro.core import JointSimParams
+from repro.experiments import (
+    ablation_server,
+    ablation_sleep,
+    adaptive_k,
+    churn,
+    fig10_network_latency,
+    fig11_k_tradeoff,
+    fig12_server_power,
+    fig13_joint_power,
+    fig15_diurnal,
+    validation,
+)
+
+TINY = JointSimParams(sim_cores=1, duration_s=3.0, warmup_s=0.5)
+
+
+class TestFigureSmoke:
+    def test_fig10_tiny(self):
+        r = fig10_network_latency.run(backgrounds=(0.2,), levels=(0, 3), n_per_flow=300)
+        assert len(r.rows) == 2
+
+    def test_fig11_tiny(self):
+        r = fig11_k_tradeoff.run(backgrounds=(0.2,), scale_factors=(1.0, 3.0), n_per_flow=300)
+        assert len(r.rows) == 2
+        assert r.rows[1][3] >= r.rows[0][3]  # switches at K=3 >= K=1
+
+    def test_fig12a_tiny(self):
+        r = fig12_server_power.run_utilization_sweep(
+            utilizations=(0.3,), governors=("no-pm", "eprons-server"),
+            duration_s=6.0, n_cores=1,
+        )
+        power = {row[0]: row[2] for row in r.rows}
+        assert power["eprons-server"] < power["no-pm"]
+
+    def test_fig12b_tiny(self):
+        r = fig12_server_power.run_constraint_sweep(
+            constraints_ms=(25.0,), governors=("rubik", "eprons-server"),
+            duration_s=6.0, n_cores=1,
+        )
+        assert len(r.rows) == 2
+
+    def test_fig12c_tiny(self):
+        r = fig12_server_power.run_heatmap(
+            utilizations=(0.3,), constraints_ms=(30.0,), duration_s=5.0, n_cores=1
+        )
+        assert len(r.rows) == 1
+        assert r.rows[0][3]  # sla met
+
+    def test_fig13_tiny(self):
+        r = fig13_joint_power.run(
+            backgrounds=(0.2,), constraints_ms=(30.0,), levels=(0, 3), params=TINY
+        )
+        schemes = {row[2] for row in r.rows}
+        assert {"aggregation-0", "aggregation-3", "no-pm"} <= schemes
+
+    def test_fig15_tiny(self):
+        series, summary = fig15_diurnal.run(
+            epoch_minutes=180,
+            bg_buckets=(0.2,),
+            util_grid=(0.1, 0.4),
+            params=TINY,
+            report_every_epochs=2,
+        )
+        assert len(series.rows) >= 2
+        savings = {row[0]: row[1] for row in summary.rows}
+        assert savings["eprons"] > 0
+
+    def test_ablation_server_tiny(self):
+        r = ablation_server.run(utilizations=(0.3,), duration_s=5.0, n_cores=1)
+        assert len(r.rows) == 4
+
+    def test_ablation_sleep_tiny(self):
+        r = ablation_sleep.run(utilizations=(0.2,), duration_s=5.0, n_cores=1)
+        assert all(row[4] for row in r.rows)  # all meet SLA
+
+    def test_validation_tiny(self):
+        r = validation.run(utilizations=(0.3,), duration_s=1.0)
+        assert len(r.rows) == 1
+        assert r.rows[0][1] > 0
+
+    def test_churn_tiny(self):
+        r = churn.run(scale_factors=(1.0,), n_epochs=6)
+        row = r.rows[0]
+        assert row[1] + row[7] == 6
+
+    def test_adaptive_k_tiny(self):
+        r = adaptive_k.run(epoch_minutes=360, schemes=("adaptive", "fixed-1"))
+        assert len(r.rows) == 2
+
+    def test_datacenter_scale_tiny(self):
+        from repro.experiments import datacenter_scale
+
+        r = datacenter_scale.run(arities=(4,), duration_s=4.0)
+        row = r.rows[0]
+        assert row[1] == 16 and row[2] == 20
+        assert row[6] > 10.0  # double-digit saving vs no-PM
+        assert row[7]

@@ -1,0 +1,78 @@
+"""Frequency->service-time model (Rubik's frequency-independent part)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.server import FrequencyModel
+from repro.units import GHZ
+
+
+class TestSpeedFactor:
+    def test_reference_frequency_is_unity(self):
+        m = FrequencyModel(f_ref_hz=2.7 * GHZ, independent_fraction=0.2)
+        assert m.speed_factor(2.7 * GHZ) == pytest.approx(1.0)
+
+    def test_pure_scaling_without_independent_part(self):
+        m = FrequencyModel(f_ref_hz=2.7 * GHZ, independent_fraction=0.0)
+        assert m.speed_factor(1.35 * GHZ) == pytest.approx(2.0)
+
+    def test_independent_part_damps_slowdown(self):
+        """With phi=0.2, halving frequency slows less than 2x."""
+        m = FrequencyModel(f_ref_hz=2.7 * GHZ, independent_fraction=0.2)
+        assert m.speed_factor(1.35 * GHZ) == pytest.approx(0.8 * 2.0 + 0.2)
+
+    def test_monotone_decreasing_in_frequency(self):
+        m = FrequencyModel()
+        freqs = np.linspace(1.2, 2.7, 16) * GHZ
+        sf = m.speed_factors(freqs)
+        assert np.all(np.diff(sf) < 0)
+
+    def test_vectorized_matches_scalar(self):
+        m = FrequencyModel()
+        freqs = np.array([1.2, 1.8, 2.7]) * GHZ
+        for f, s in zip(freqs, m.speed_factors(freqs)):
+            assert s == pytest.approx(m.speed_factor(float(f)))
+
+    def test_invalid_phi(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyModel(independent_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            FrequencyModel(independent_fraction=-0.1)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyModel().speed_factor(0.0)
+
+
+class TestWorkAccounting:
+    def test_service_time(self):
+        m = FrequencyModel(independent_fraction=0.2)
+        t = m.service_time(4e-3, 1.35 * GHZ)
+        assert t == pytest.approx(4e-3 * m.speed_factor(1.35 * GHZ))
+
+    def test_work_completed_inverts_service_time(self):
+        m = FrequencyModel()
+        w = 3e-3
+        f = 1.7 * GHZ
+        assert m.work_completed(m.service_time(w, f), f) == pytest.approx(w)
+
+    def test_work_budget_eq1(self):
+        """ω(D) = budget / speed_factor — more frequency, more work."""
+        m = FrequencyModel()
+        assert m.work_budget(10e-3, 2.7 * GHZ) > m.work_budget(10e-3, 1.2 * GHZ)
+
+    def test_negative_budget_is_zero(self):
+        assert FrequencyModel().work_budget(-1e-3, 2e9) == 0.0
+
+    def test_negative_work_raises(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyModel().service_time(-1.0, 2e9)
+
+    @given(st.floats(1.2, 2.7), st.floats(1e-6, 1e-1))
+    def test_budget_times_speed_is_time(self, f_ghz, budget):
+        m = FrequencyModel()
+        f = f_ghz * GHZ
+        assert m.work_budget(budget, f) * m.speed_factor(f) == pytest.approx(budget)

@@ -1,0 +1,126 @@
+"""End-to-end integration: the full EPRONS pipeline.
+
+These tests exercise the complete path the paper's system takes —
+traffic → consolidation → network latency → per-request slack → DVFS →
+power — and check cross-module invariants that no unit test can see.
+"""
+
+import pytest
+
+from repro.consolidation import GreedyConsolidator, route_on_subnet, validate_result
+from repro.control import LatencyMonitor, SdnController
+from repro.core import EpronsDatacenter, JointSimParams, evaluate_operating_point
+from repro.netsim import NetworkModel
+from repro.policies import EpronsServerGovernor, MaxFrequencyGovernor
+from repro.server import XEON_LADDER
+from repro.topology import aggregation_policy
+from repro.workloads import SearchWorkload
+
+FAST = JointSimParams(sim_cores=1, duration_s=6.0, warmup_s=1.0)
+
+
+@pytest.fixture(scope="module")
+def workload(ft4):
+    return SearchWorkload(ft4)
+
+
+class TestPipelineDeterminism:
+    def test_full_pipeline_reproducible(self, workload):
+        """Same seeds end to end -> identical power and latency."""
+
+        def run():
+            dc = EpronsDatacenter(workload, params=FAST)
+            cand, ev = dc.optimize(0.2, utilization=0.3)
+            return cand.name, ev.total_watts, ev.query_p95_s
+
+        a, b = run(), run()
+        assert a[0] == b[0]
+        assert a[1] == pytest.approx(b[1])
+        assert a[2] == pytest.approx(b[2])
+
+
+class TestCrossModuleConsistency:
+    def test_network_power_matches_subnet_everywhere(self, workload):
+        """The consolidation objective, the subnet's power and the joint
+        breakdown's network component all agree."""
+        traffic = workload.traffic(0.2, seed_or_rng=1)
+        consolidator = GreedyConsolidator(workload.topology)
+        res = consolidator.consolidate(traffic, 2.0)
+        sw, ln = res.subnet.network_power(
+            consolidator.switch_model, consolidator.link_model
+        )
+        assert res.objective_watts == pytest.approx(sw + ln)
+        ev = evaluate_operating_point(
+            workload, traffic, res, 0.3,
+            lambda: MaxFrequencyGovernor(XEON_LADDER), params=FAST,
+        )
+        assert ev.breakdown.network_watts == pytest.approx(sw + ln)
+
+    def test_slack_flows_into_deadline_behaviour(self, workload):
+        """Deeper consolidation -> higher network latency -> less slack
+        -> EPRONS-Server must run faster (higher CPU power)."""
+        traffic = workload.traffic(0.2, seed_or_rng=1)
+        powers = {}
+        for level in (0, 3):
+            res = route_on_subnet(aggregation_policy(workload.topology, level), traffic)
+            ev = evaluate_operating_point(
+                workload, traffic, res, 0.3,
+                lambda: EpronsServerGovernor(workload.service_model, XEON_LADDER),
+                params=JointSimParams(sim_cores=2, duration_s=10.0, warmup_s=2.0),
+            )
+            powers[level] = ev.breakdown.server_cpu_watts
+        assert powers[3] > powers[0]
+
+    def test_monitor_tail_consistent_with_model(self, workload):
+        """LatencyMonitor's pooled tail equals the NetworkModel's pooled
+        request-flow percentile within sampling noise."""
+        traffic = workload.traffic(0.2, seed_or_rng=1)
+        res = route_on_subnet(aggregation_policy(workload.topology, 2), traffic)
+        nm = NetworkModel(workload.topology, traffic, res.routing)
+        monitor = LatencyMonitor(nm)
+        a = monitor.request_tail_latency(95.0, n=4000, seed_or_rng=1)
+        b = monitor.request_tail_latency(95.0, n=4000, seed_or_rng=2)
+        assert a == pytest.approx(b, rel=0.25)  # same distribution
+
+
+class TestControllerToSimulation:
+    def test_controller_routing_drives_simulation(self, workload):
+        """A routing adopted by the SDN controller can be consumed
+        directly by the network model and the joint evaluator."""
+        ctrl = SdnController(GreedyConsolidator(workload.topology), scale_factor=2.0)
+        traffic = workload.traffic(0.2, seed_or_rng=1)
+        out = ctrl.run_epoch(traffic)
+        validate_result(workload.topology, traffic, out.result, check_reservations=False)
+        ev = evaluate_operating_point(
+            workload, traffic, out.result, 0.3,
+            lambda: EpronsServerGovernor(workload.service_model, XEON_LADDER),
+            params=FAST,
+        )
+        assert ev.total_watts > 0
+        assert ev.sla_met
+
+    def test_epoch_sequence_keeps_hosts_connected(self, workload):
+        """Across epochs with changing K and traffic, the adopted subnet
+        never disconnects the servers."""
+        ctrl = SdnController(GreedyConsolidator(workload.topology))
+        for k, bg, seed in [(1.0, 0.1, 1), (3.0, 0.3, 2), (1.0, 0.5, 3), (2.0, 0.2, 4)]:
+            ctrl.set_scale_factor(k)
+            ctrl.run_epoch(workload.traffic(bg, seed_or_rng=seed))
+            assert ctrl.current_subnet.connects_all_hosts()
+
+
+class TestEnergyConservation:
+    def test_breakdown_components_bounded(self, workload):
+        """Fleet CPU power stays within physical bounds: between
+        all-idle and all-max-frequency."""
+        traffic = workload.traffic(0.2, seed_or_rng=1)
+        res = route_on_subnet(aggregation_policy(workload.topology, 0), traffic)
+        ev = evaluate_operating_point(
+            workload, traffic, res, 0.3,
+            lambda: EpronsServerGovernor(workload.service_model, XEON_LADDER),
+            params=FAST,
+        )
+        n_cores_fleet = 16 * 12
+        idle_floor = n_cores_fleet * 1.0 * 0.3  # can't be below 30% of idle
+        max_ceiling = n_cores_fleet * 4.5
+        assert idle_floor < ev.breakdown.server_cpu_watts < max_ceiling

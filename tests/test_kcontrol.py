@@ -1,0 +1,71 @@
+"""Closed-loop scale-factor control."""
+
+import pytest
+
+from repro.control import ScaleFactorController
+from repro.errors import ConfigurationError
+
+
+class TestScaleFactorController:
+    def make(self, **kw):
+        defaults = dict(network_budget_s=5e-3, k_initial=1.0, k_max=4.0)
+        defaults.update(kw)
+        return ScaleFactorController(**defaults)
+
+    def test_raises_k_when_tail_high(self):
+        c = self.make()
+        assert c.update(4.8e-3) == 2.0  # above 0.9 * 5 ms
+
+    def test_lowers_k_when_tail_low(self):
+        c = self.make(k_initial=3.0)
+        assert c.update(1e-3) == 2.0  # below 0.5 * 5 ms
+
+    def test_dead_band_holds(self):
+        c = self.make(k_initial=2.0)
+        assert c.update(3.5e-3) == 2.0  # inside [2.5, 4.5] ms
+        assert c.adjustments == 0
+
+    def test_saturates_at_k_max(self):
+        c = self.make(k_initial=4.0)
+        assert c.update(10e-3) == 4.0
+
+    def test_saturates_at_one(self):
+        c = self.make(k_initial=1.0)
+        assert c.update(0.0) == 1.0
+
+    def test_adjustment_counter(self):
+        c = self.make()
+        c.update(10e-3)  # up
+        c.update(10e-3)  # up
+        c.update(3.5e-3)  # hold
+        c.update(0.0)  # down
+        assert c.adjustments == 3
+        assert c.k == 2.0
+
+    def test_converges_under_monotone_plant(self):
+        """Against a plant where tail = 6ms / K, the loop settles in the
+        dead band and stops adjusting."""
+        c = self.make()
+        for _ in range(10):
+            c.update(6e-3 / c.k)
+        settled = c.k
+        before = c.adjustments
+        for _ in range(5):
+            c.update(6e-3 / c.k)
+        assert c.k == settled
+        assert c.adjustments == before
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.make(network_budget_s=0.0)
+        with pytest.raises(ConfigurationError):
+            self.make(k_initial=0.5)
+        with pytest.raises(ConfigurationError):
+            self.make(k_initial=5.0)  # above k_max
+        with pytest.raises(ConfigurationError):
+            ScaleFactorController(5e-3, upper_fraction=0.4, lower_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            ScaleFactorController(5e-3, step=0.0)
+        c = self.make()
+        with pytest.raises(ConfigurationError):
+            c.update(-1.0)

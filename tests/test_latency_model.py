@@ -1,0 +1,109 @@
+"""The Fig-1 utilization->latency knee model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.netsim import LinkLatencyModel, path_delay_mean, sample_path_delays
+from repro.units import to_us
+
+
+class TestMeanDelay:
+    def test_base_delay_at_zero_util(self):
+        m = LinkLatencyModel()
+        assert m.mean_delay(0.0) == pytest.approx(m.propagation_s + m.transmission_s)
+
+    def test_transmission_time(self):
+        m = LinkLatencyModel()
+        assert m.transmission_s == pytest.approx(12e-6)  # 1500 B @ 1 Gbps
+
+    def test_monotone_increasing(self):
+        m = LinkLatencyModel()
+        rho = np.linspace(0.0, 0.97, 40)
+        d = m.mean_delay(rho)
+        assert np.all(np.diff(d) > 0)
+
+    def test_fig1_low_utilization_flat(self):
+        """At 20% utilization a ~6-hop query path stays near 139 us."""
+        m = LinkLatencyModel()
+        path = path_delay_mean(m, [0.2] * 6)
+        assert to_us(path) < 250.0
+
+    def test_fig1_knee_explodes(self):
+        """Past the knee the same path reaches the ~12 ms regime."""
+        m = LinkLatencyModel()
+        low = path_delay_mean(m, [0.2] * 6)
+        high = path_delay_mean(m, [0.95] * 6)
+        assert high > 50 * low
+        assert 5e-3 < high < 50e-3
+
+    def test_rho_capped(self):
+        m = LinkLatencyModel()
+        assert m.mean_delay(5.0) == pytest.approx(m.mean_delay(m.rho_cap))
+
+    def test_negative_utilization_raises(self):
+        with pytest.raises(ConfigurationError):
+            LinkLatencyModel().mean_delay(-0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            LinkLatencyModel(capacity_bps=0.0)
+        with pytest.raises(ConfigurationError):
+            LinkLatencyModel(burst_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            LinkLatencyModel(rho_cap=1.0)
+
+    @given(st.floats(0.0, 0.9))
+    @settings(max_examples=30)
+    def test_knee_shape_below_mm1(self, rho):
+        """The rho^a sharpening keeps low/mid-load delay below the
+        plain bursty M/M/1 curve (that is the point of the exponent)."""
+        m = LinkLatencyModel()
+        plain = m.burst_factor * m.transmission_s * rho / (1.0 - rho)
+        assert m.mean_wait(rho) <= plain + 1e-12
+
+
+class TestSampling:
+    def test_zero_util_no_wait(self, rng):
+        m = LinkLatencyModel()
+        w = m.sample_waits(0.0, 100, rng)
+        assert np.all(w == 0.0)
+
+    def test_sample_mean_matches_analytic(self, rng):
+        m = LinkLatencyModel()
+        for rho in (0.3, 0.6, 0.9):
+            w = m.sample_waits(rho, 200_000, rng)
+            assert w.mean() == pytest.approx(float(m.mean_wait(rho)), rel=0.05)
+
+    def test_samples_nonnegative(self, rng):
+        m = LinkLatencyModel()
+        assert np.all(m.sample_delays(0.7, 5000, rng) >= 0.0)
+
+    def test_deterministic_with_seed(self):
+        m = LinkLatencyModel()
+        a = m.sample_delays(0.5, 50, seed_or_rng=9)
+        b = m.sample_delays(0.5, 50, seed_or_rng=9)
+        assert np.array_equal(a, b)
+
+    def test_heavy_tail_at_medium_load(self, rng):
+        """p99 >> mean at medium utilization (the Fig-10 tail effect)."""
+        m = LinkLatencyModel()
+        w = m.sample_waits(0.5, 100_000, rng)
+        assert np.percentile(w, 99) > 4 * w.mean()
+
+    def test_path_sampling_sums_links(self, rng):
+        m = LinkLatencyModel()
+        d = sample_path_delays(m, [0.0, 0.0, 0.0], 10, rng)
+        assert np.allclose(d, 3 * (m.propagation_s + m.transmission_s))
+
+    def test_empty_path_raises(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_path_delays(LinkLatencyModel(), [], 10, rng)
+        with pytest.raises(ConfigurationError):
+            path_delay_mean(LinkLatencyModel(), [])
+
+    def test_negative_n_raises(self, rng):
+        with pytest.raises(ConfigurationError):
+            LinkLatencyModel().sample_waits(0.5, -1, rng)

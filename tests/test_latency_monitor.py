@@ -1,0 +1,83 @@
+"""Per-request latency monitoring (the EPRONS slack source)."""
+
+import numpy as np
+import pytest
+
+from repro.consolidation import route_on_subnet
+from repro.control import LatencyMonitor
+from repro.errors import ConfigurationError
+from repro.netsim import NetworkModel
+from repro.topology import aggregation_policy
+from repro.workloads import SearchWorkload
+
+
+@pytest.fixture(scope="module")
+def monitor(ft4):
+    wl = SearchWorkload(ft4)
+    traffic = wl.traffic(0.2, seed_or_rng=1)
+    res = route_on_subnet(aggregation_policy(ft4, 2), traffic)
+    return LatencyMonitor(NetworkModel(ft4, traffic, res.routing))
+
+
+class TestLatencyMonitor:
+    def test_request_flow_ids(self, monitor):
+        ids = monitor.request_flow_ids()
+        assert len(ids) == 15
+        assert all(i.startswith("req:") for i in ids)
+
+    def test_flow_sampler_deterministic(self, monitor):
+        fid = monitor.request_flow_ids()[0]
+        s = monitor.flow_sampler(fid)
+        assert np.array_equal(s(16, 3), s(16, 3))
+
+    def test_pooled_sampler_shape_and_range(self, monitor):
+        sampler = monitor.pooled_sampler(seed_or_rng=2)
+        out = sampler(1000, 5)
+        assert out.shape == (1000,)
+        assert np.all(out >= 0)
+
+    def test_pooled_sampler_mixture_mean(self, monitor):
+        """Pool mean approximates the average request-path latency."""
+        sampler = monitor.pooled_sampler(seed_or_rng=2)
+        out = sampler(50_000, 5)
+        assert out.mean() == pytest.approx(monitor.mean_request_latency(), rel=0.5)
+
+    def test_tail_exceeds_mean(self, monitor):
+        assert monitor.request_tail_latency(95.0, seed_or_rng=1) > monitor.mean_request_latency()
+
+    def test_invalid_pool_size(self, monitor):
+        with pytest.raises(ConfigurationError):
+            LatencyMonitor(monitor.network_model, pool_size=0)
+
+    def test_reply_flow_ids(self, monitor):
+        ids = monitor.reply_flow_ids()
+        assert len(ids) == 15
+        assert all(i.startswith("rep:") for i in ids)
+
+    def test_pooled_reply_sampler(self, monitor):
+        sampler = monitor.pooled_reply_sampler(seed_or_rng=2)
+        out = sampler(500, 3)
+        assert out.shape == (500,)
+        assert np.all(out >= 0)
+
+    def test_reply_sampler_without_replies_raises(self, ft4):
+        from repro.flows import search_flows
+        from repro.consolidation import route_on_subnet
+        from repro.topology import aggregation_policy
+
+        traffic = search_flows(ft4, ft4.hosts[0], include_replies=False)
+        res = route_on_subnet(aggregation_policy(ft4, 0), traffic)
+        monitor = LatencyMonitor(NetworkModel(ft4, traffic, res.routing))
+        with pytest.raises(ConfigurationError):
+            monitor.pooled_reply_sampler()
+
+    def test_deeper_aggregation_higher_latency(self, ft4):
+        wl = SearchWorkload(ft4)
+        traffic = wl.traffic(0.2, seed_or_rng=1)
+
+        def tail(level):
+            res = route_on_subnet(aggregation_policy(ft4, level), traffic)
+            m = LatencyMonitor(NetworkModel(ft4, traffic, res.routing))
+            return m.request_tail_latency(95.0, seed_or_rng=1)
+
+        assert tail(3) > tail(0)

@@ -1,0 +1,147 @@
+"""Flow-level network model: routing, utilization, per-flow latency."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flows import Flow, FlowClass, TrafficSet
+from repro.netsim import NetworkModel, Routing
+from repro.units import MBPS
+
+
+@pytest.fixture()
+def simple_case(ft4):
+    """Two flows sharing one uplink direction."""
+    f1 = Flow("q1", "h0_0_0", "h0_0_1", 100 * MBPS, FlowClass.LATENCY_SENSITIVE, 5e-3)
+    f2 = Flow("bg", "h0_0_0", "h0_1_0", 400 * MBPS, FlowClass.LATENCY_TOLERANT)
+    traffic = TrafficSet([f1, f2])
+    routing = Routing(
+        {
+            "q1": ("h0_0_0", "e0_0", "h0_0_1"),
+            "bg": ("h0_0_0", "e0_0", "a0_0", "e0_1", "h0_1_0"),
+        }
+    )
+    return ft4, traffic, routing
+
+
+class TestRouting:
+    def test_path_lookup(self):
+        r = Routing({"f": ("a", "b", "c")})
+        assert r.path("f") == ("a", "b", "c")
+        assert r.directed_links("f") == (("a", "b"), ("b", "c"))
+
+    def test_missing_flow_raises(self):
+        with pytest.raises(ConfigurationError):
+            Routing({}).path("nope")
+
+    def test_short_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Routing({"f": ("a",)})
+
+
+class TestNetworkModelValidation:
+    def test_unrouted_flow_rejected(self, simple_case):
+        ft, traffic, _ = simple_case
+        with pytest.raises(ConfigurationError):
+            NetworkModel(ft, traffic, Routing({"q1": ("h0_0_0", "e0_0", "h0_0_1")}))
+
+    def test_wrong_endpoints_rejected(self, ft4):
+        f = Flow("q", "h0_0_0", "h0_0_1", 1.0)
+        r = Routing({"q": ("h0_0_1", "e0_0", "h0_0_0")})
+        with pytest.raises(ConfigurationError):
+            NetworkModel(ft4, TrafficSet([f]), r)
+
+    def test_missing_link_rejected(self, ft4):
+        f = Flow("q", "h0_0_0", "h1_0_0", 1.0)
+        r = Routing({"q": ("h0_0_0", "h1_0_0")})
+        with pytest.raises(ConfigurationError):
+            NetworkModel(ft4, TrafficSet([f]), r)
+
+
+class TestUtilization:
+    def test_directed_accumulation(self, simple_case):
+        ft, traffic, routing = simple_case
+        nm = NetworkModel(ft, traffic, routing)
+        # Both flows traverse h0_0_0 -> e0_0: (100 + 400) / 1000 Mbps.
+        assert nm.utilization("h0_0_0", "e0_0") == pytest.approx(0.5)
+        # The reverse direction is unused.
+        assert nm.utilization("e0_0", "h0_0_0") == 0.0
+
+    def test_max_utilization(self, simple_case):
+        ft, traffic, routing = simple_case
+        assert NetworkModel(ft, traffic, routing).max_utilization() == pytest.approx(0.5)
+
+    def test_overloaded_links(self, ft4):
+        flows = [
+            Flow(f"f{i}", "h0_0_0", "h0_0_1", 600 * MBPS, FlowClass.LATENCY_TOLERANT)
+            for i in range(2)
+        ]
+        routing = Routing({f.flow_id: ("h0_0_0", "e0_0", "h0_0_1") for f in flows})
+        nm = NetworkModel(ft4, TrafficSet(flows), routing)
+        assert ("h0_0_0", "e0_0") in nm.overloaded_links()
+
+    def test_path_utilizations_vector(self, simple_case):
+        ft, traffic, routing = simple_case
+        nm = NetworkModel(ft, traffic, routing)
+        utils = nm.path_utilizations("bg")
+        assert len(utils) == 4
+        assert utils[0] == pytest.approx(0.5)  # shared uplink
+
+
+class TestLatency:
+    def test_lightly_loaded_flow_fast(self, simple_case):
+        ft, traffic, routing = simple_case
+        nm = NetworkModel(ft, traffic, routing)
+        assert nm.flow_mean_latency("q1") < 1e-3
+
+    def test_latency_grows_with_congestion(self, ft4):
+        def model_with_bg(demand):
+            q = Flow("q", "h0_0_0", "h0_0_1", 10 * MBPS, FlowClass.LATENCY_SENSITIVE, 5e-3)
+            bg = Flow("bg", "h0_0_0", "h0_0_1", demand, FlowClass.LATENCY_TOLERANT)
+            r = Routing({fid: ("h0_0_0", "e0_0", "h0_0_1") for fid in ("q", "bg")})
+            return NetworkModel(ft4, TrafficSet([q, bg]), r)
+
+        light = model_with_bg(100 * MBPS).flow_mean_latency("q")
+        heavy = model_with_bg(900 * MBPS).flow_mean_latency("q")
+        assert heavy > 10 * light
+
+    def test_sample_reproducible(self, simple_case):
+        ft, traffic, routing = simple_case
+        nm = NetworkModel(ft, traffic, routing)
+        a = nm.sample_flow_latency("q1", 64, seed_or_rng=5)
+        b = nm.sample_flow_latency("q1", 64, seed_or_rng=5)
+        assert np.array_equal(a, b)
+
+    def test_flow_latency_summary(self, simple_case):
+        ft, traffic, routing = simple_case
+        nm = NetworkModel(ft, traffic, routing)
+        fl = nm.flow_latency("q1", n=1000, seed_or_rng=3)
+        assert fl.summary.count == 1000
+        assert fl.summary.p95 >= fl.summary.p50
+
+    def test_query_summary_pools_sensitive_flows(self, simple_case):
+        ft, traffic, routing = simple_case
+        nm = NetworkModel(ft, traffic, routing)
+        s = nm.query_latency_summary(n_per_flow=500, seed_or_rng=2)
+        assert s.count == 500  # only q1 is latency-sensitive
+
+    def test_query_summary_without_sensitive_raises(self, ft4):
+        bg = Flow("bg", "h0_0_0", "h0_0_1", 1.0, FlowClass.LATENCY_TOLERANT)
+        nm = NetworkModel(
+            ft4, TrafficSet([bg]), Routing({"bg": ("h0_0_0", "e0_0", "h0_0_1")})
+        )
+        with pytest.raises(ConfigurationError):
+            nm.query_latency_summary()
+
+    def test_slack_sign(self, simple_case):
+        ft, traffic, routing = simple_case
+        nm = NetworkModel(ft, traffic, routing)
+        slack = nm.sample_flow_slack("q1", budget_s=5e-3, n=500, seed_or_rng=4)
+        # Lightly loaded path: nearly all requests have positive slack.
+        assert np.mean(slack > 0) > 0.95
+
+    def test_slack_requires_positive_budget(self, simple_case):
+        ft, traffic, routing = simple_case
+        nm = NetworkModel(ft, traffic, routing)
+        with pytest.raises(ConfigurationError):
+            nm.sample_flow_slack("q1", budget_s=0.0, n=10)

@@ -1,0 +1,39 @@
+"""Randomized optimality evidence: greedy vs the exact MILP.
+
+A handful of random instances (kept small so the MILP stays fast)
+checking that the deployment heuristic's network-power objective stays
+close to the exact optimum — the quantitative justification for using
+the greedy in the control loop.
+"""
+
+import pytest
+
+from repro.consolidation import GreedyConsolidator, MilpConsolidator, validate_result
+from repro.experiments.scaling import random_traffic
+from repro.topology import FatTree
+
+
+@pytest.fixture(scope="module")
+def ft():
+    return FatTree(4)
+
+
+@pytest.mark.parametrize("seed,n_flows", [(0, 12), (1, 18), (2, 24)])
+def test_greedy_within_ten_percent_of_milp(ft, seed, n_flows):
+    traffic = random_traffic(ft, n_flows, seed=seed)
+    greedy = GreedyConsolidator(ft).consolidate(traffic, 1.0)
+    exact = MilpConsolidator(ft, time_limit_s=120).consolidate(traffic, 1.0)
+    validate_result(ft, traffic, greedy)
+    validate_result(ft, traffic, exact)
+    assert exact.objective_watts <= greedy.objective_watts + 1e-9
+    assert greedy.objective_watts <= exact.objective_watts * 1.10
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_greedy_and_milp_agree_on_feasibility(ft, seed):
+    """Instances the greedy routes, the MILP routes too (both should
+    accept well-posed traffic)."""
+    traffic = random_traffic(ft, 15, seed=seed)
+    greedy = GreedyConsolidator(ft).consolidate(traffic, 2.0, best_effort_scale=True)
+    exact = MilpConsolidator(ft, time_limit_s=120).consolidate(traffic, greedy.scale_factor)
+    assert exact.n_switches_on <= greedy.n_switches_on

@@ -1,0 +1,116 @@
+"""Oracle governor and EPRONS-Server ablation variants."""
+
+import pytest
+
+from repro.policies import (
+    EpronsNoReorderGovernor,
+    EpronsServerGovernor,
+    OracleGovernor,
+    QueueSnapshot,
+)
+from repro.server import FrequencyModel
+from repro.sim import ServerSimConfig, run_server_simulation
+from repro.units import GHZ
+
+
+def snap(now=0.0, works=(), deadlines=(), in_service=True):
+    """Snapshot with clairvoyant works; first deadline is in-service."""
+    if not deadlines:
+        return QueueSnapshot(now, None, None, (), ())
+    if in_service:
+        return QueueSnapshot(
+            now=now,
+            in_service_completed_work=0.0,
+            in_service_deadline=deadlines[0],
+            queued_deadlines=tuple(deadlines[1:]),
+            actual_remaining_works=tuple(works),
+        )
+    return QueueSnapshot(now, None, None, tuple(deadlines), tuple(works))
+
+
+class TestOracleGovernor:
+    def make(self, phi=0.2, ladder=None):
+        from repro.server import XEON_LADDER
+
+        return OracleGovernor(
+            FrequencyModel(independent_fraction=phi), ladder or XEON_LADDER
+        )
+
+    def test_idle_returns_min(self, ladder):
+        g = self.make()
+        assert g.select_frequency(snap()) == ladder.f_min
+
+    def test_exact_just_in_time(self, ladder):
+        """Work 4 ms at f_ref with an 8 ms budget needs speed factor 2,
+        which at phi=0.2 maps to f = 0.8*2.7/(2-0.2) = 1.2 GHz."""
+        g = self.make(phi=0.2)
+        f = g.select_frequency(snap(works=(4e-3,), deadlines=(8e-3,)))
+        assert f == pytest.approx(1.2 * GHZ)
+
+    def test_tight_deadline_needs_max(self, ladder):
+        g = self.make()
+        f = g.select_frequency(snap(works=(4e-3,), deadlines=(4.05e-3,)))
+        assert f == pytest.approx(ladder.f_max)
+
+    def test_blown_deadline_runs_flat_out(self, ladder):
+        g = self.make()
+        f = g.select_frequency(snap(now=10e-3, works=(4e-3,), deadlines=(5e-3,)))
+        assert f == pytest.approx(ladder.f_max)
+
+    def test_queue_binding_request(self, ladder):
+        """The cumulative-work constraint of a later request can bind."""
+        g = self.make(phi=0.0)
+        # In-service: 1 ms work, loose deadline; queued: 1 ms work,
+        # cumulative 2 ms must finish by 2.2 ms -> speed <= 1.1.
+        f_bound = g.select_frequency(
+            snap(works=(1e-3, 1e-3), deadlines=(100e-3, 2.2e-3))
+        )
+        f_loose = g.select_frequency(
+            snap(works=(1e-3, 1e-3), deadlines=(100e-3, 100e-3))
+        )
+        assert f_bound > f_loose
+
+    def test_frequency_independent_wall(self, ladder):
+        """If the phi part alone overruns the deadline, run at max."""
+        g = self.make(phi=0.5)
+        # speed factor can never go below phi=0.5; budget/work = 0.4.
+        f = g.select_frequency(snap(works=(10e-3,), deadlines=(4e-3,)))
+        assert f == pytest.approx(ladder.f_max)
+
+    def test_oracle_beats_eprons_in_simulation(self, service_model, ladder):
+        cfg = ServerSimConfig(
+            utilization=0.3,
+            latency_constraint_s=25e-3,
+            n_cores=2,
+            duration_s=12.0,
+            warmup_s=2.0,
+            seed=9,
+        )
+        oracle = run_server_simulation(
+            service_model,
+            lambda: OracleGovernor(service_model.frequency_model, ladder),
+            cfg,
+        )
+        eprons = run_server_simulation(
+            service_model,
+            lambda: EpronsServerGovernor(service_model, ladder),
+            cfg,
+        )
+        assert oracle.cpu_power_watts <= eprons.cpu_power_watts * 1.02
+        assert oracle.meets_sla
+
+
+class TestEpronsNoReorder:
+    def test_flags(self, service_model, ladder):
+        g = EpronsNoReorderGovernor(service_model, ladder)
+        assert g.network_aware
+        assert not g.reorders_queue
+        assert g.name == "eprons-noreorder"
+
+    def test_same_frequency_rule_as_eprons(self, service_model, ladder):
+        """Only the queue discipline differs; given the same snapshot the
+        frequency choice is identical."""
+        s = snap(works=(), deadlines=(9e-3, 14e-3))
+        full = EpronsServerGovernor(service_model, ladder)
+        variant = EpronsNoReorderGovernor(service_model, ladder)
+        assert variant.select_frequency(s) == full.select_frequency(s)

@@ -1,0 +1,110 @@
+"""Path enumeration over fat-trees and subnets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import (
+    aggregation_policy,
+    active_paths,
+    fat_tree_paths,
+    path_links,
+    shortest_paths,
+)
+
+
+class TestFatTreePaths:
+    def test_same_edge_single_path(self, ft4):
+        paths = fat_tree_paths(ft4, "h0_0_0", "h0_0_1")
+        assert paths == [("h0_0_0", "e0_0", "h0_0_1")]
+
+    def test_same_pod_paths(self, ft4):
+        paths = fat_tree_paths(ft4, "h0_0_0", "h0_1_0")
+        assert len(paths) == 2  # one per agg switch in the pod
+        for p in paths:
+            assert len(p) == 5
+            assert p[0] == "h0_0_0" and p[-1] == "h0_1_0"
+            assert p[2].startswith("a0_")
+
+    def test_cross_pod_paths(self, ft4):
+        paths = fat_tree_paths(ft4, "h0_0_0", "h3_1_1")
+        assert len(paths) == 4  # (k/2)^2 cores
+        for p in paths:
+            assert len(p) == 7
+            assert p[3].startswith("c")
+
+    def test_paths_are_leftmost_ordered(self, ft4):
+        paths = fat_tree_paths(ft4, "h0_0_0", "h3_1_1")
+        assert paths == sorted(paths)
+
+    def test_cross_pod_core_group_matches_agg(self, ft4):
+        for p in fat_tree_paths(ft4, "h0_0_0", "h1_0_0"):
+            agg_src, core, agg_dst = p[2], p[3], p[4]
+            g = ft4.core_group_of(core)
+            assert ft4.agg_index_of(agg_src) == g
+            assert ft4.agg_index_of(agg_dst) == g
+
+    def test_paths_use_real_links(self, ft4):
+        for p in fat_tree_paths(ft4, "h0_0_0", "h2_0_1"):
+            for u, v in zip(p[:-1], p[1:]):
+                assert ft4.has_link(u, v)
+
+    def test_same_host_raises(self, ft4):
+        with pytest.raises(ConfigurationError):
+            fat_tree_paths(ft4, "h0_0_0", "h0_0_0")
+
+    def test_non_host_raises(self, ft4):
+        with pytest.raises(ConfigurationError):
+            fat_tree_paths(ft4, "e0_0", "h0_0_0")
+
+    def test_matches_graph_search(self, ft4):
+        """Structural enumeration agrees with networkx all_shortest_paths."""
+        import networkx as nx
+
+        for src, dst in [("h0_0_0", "h0_1_1"), ("h0_0_0", "h2_1_0")]:
+            structural = set(fat_tree_paths(ft4, src, dst))
+            searched = {tuple(p) for p in nx.all_shortest_paths(ft4.graph, src, dst)}
+            assert structural == searched
+
+
+class TestActivePaths:
+    def test_full_subnet_matches_fat_tree_paths(self, ft4):
+        sub = ft4.full_subnet()
+        assert set(active_paths(sub, "h0_0_0", "h1_0_0")) == set(
+            fat_tree_paths(ft4, "h0_0_0", "h1_0_0")
+        )
+
+    def test_aggregation3_limits_choices(self, ft4):
+        sub = aggregation_policy(ft4, 3)
+        paths = active_paths(sub, "h0_0_0", "h1_0_0")
+        assert len(paths) == 1  # single core alive
+        assert paths[0][3] == ft4.core_name(0, 0)
+
+    def test_disconnected_returns_empty(self, ft4):
+        # Keep only host attachments + edge-agg0 links: cross-pod pairs
+        # cannot reach each other (no cores).
+        links = set()
+        switches = set()
+        from repro.topology import canonical_link
+
+        for host in ft4.hosts:
+            sw = ft4.attachment_switch(host)
+            links.add(canonical_link(host, sw))
+            switches.add(sw)
+        sub = ft4.subnet(switches, links)
+        assert active_paths(sub, "h0_0_0", "h1_0_0") == []
+
+
+class TestHelpers:
+    def test_path_links_canonical(self):
+        assert path_links(("a", "b", "c")) == (("a", "b"), ("b", "c"))
+        assert path_links(("c", "b", "a")) == (("b", "c"), ("a", "b"))
+
+    def test_path_links_too_short(self):
+        with pytest.raises(ConfigurationError):
+            path_links(("a",))
+
+    def test_shortest_paths_generic_dispatch(self, ft4):
+        # Switch-to-switch queries use the graph-search fallback.
+        paths = shortest_paths(ft4, "e0_0", "e0_1")
+        assert all(p[0] == "e0_0" and p[-1] == "e0_1" for p in paths)
+        assert len(paths) == 2

@@ -1,0 +1,92 @@
+"""Energy meter and power breakdown accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.power import EnergyMeter, PowerBreakdown
+
+
+class TestEnergyMeter:
+    def test_constant_power(self):
+        m = EnergyMeter(10.0)
+        m.advance(5.0)
+        assert m.energy_joules == pytest.approx(50.0)
+
+    def test_stepwise_power(self):
+        m = EnergyMeter(10.0)
+        m.set_power(20.0, 2.0)  # 10 W for 2 s
+        m.advance(5.0)  # 20 W for 3 s
+        assert m.energy_joules == pytest.approx(10 * 2 + 20 * 3)
+
+    def test_average_power(self):
+        m = EnergyMeter(10.0)
+        m.set_power(30.0, 5.0)
+        assert m.average_power(10.0) == pytest.approx((10 * 5 + 30 * 5) / 10)
+
+    def test_backwards_time_raises(self):
+        m = EnergyMeter(1.0)
+        m.advance(5.0)
+        with pytest.raises(SimulationError):
+            m.advance(4.0)
+
+    def test_negative_power_raises(self):
+        with pytest.raises(ConfigurationError):
+            EnergyMeter(-1.0)
+        m = EnergyMeter(1.0)
+        with pytest.raises(ConfigurationError):
+            m.set_power(-2.0, 1.0)
+
+    def test_zero_elapsed_average_is_current(self):
+        m = EnergyMeter(7.0)
+        assert m.average_power() == pytest.approx(7.0)
+
+    def test_repeated_set_power_same_time(self):
+        m = EnergyMeter(10.0)
+        m.set_power(20.0, 1.0)
+        m.set_power(30.0, 1.0)
+        m.advance(2.0)
+        assert m.energy_joules == pytest.approx(10 * 1 + 30 * 1)
+
+
+class TestPowerBreakdown:
+    def make(self, sw=100.0, ln=10.0, st=50.0, cpu=40.0):
+        return PowerBreakdown(
+            switch_watts=sw, link_watts=ln, server_static_watts=st, server_cpu_watts=cpu
+        )
+
+    def test_totals(self):
+        b = self.make()
+        assert b.network_watts == pytest.approx(110.0)
+        assert b.server_watts == pytest.approx(90.0)
+        assert b.total_watts == pytest.approx(200.0)
+
+    def test_saving_vs_baseline(self):
+        base = self.make()
+        better = self.make(sw=50.0)
+        assert better.saving_vs(base) == pytest.approx(50.0 / 200.0)
+
+    def test_saving_vs_self_is_zero(self):
+        b = self.make()
+        assert b.saving_vs(b) == pytest.approx(0.0)
+
+    def test_network_and_server_savings(self):
+        base = self.make()
+        better = PowerBreakdown(50.0, 10.0, 50.0, 20.0)
+        assert better.network_saving_vs(base) == pytest.approx(1 - 60.0 / 110.0)
+        assert better.server_saving_vs(base) == pytest.approx(1 - 70.0 / 90.0)
+
+    def test_add(self):
+        s = self.make() + self.make()
+        assert s.total_watts == pytest.approx(400.0)
+
+    def test_scaled(self):
+        assert self.make().scaled(0.5).total_watts == pytest.approx(100.0)
+
+    def test_negative_component_raises(self):
+        with pytest.raises(ConfigurationError):
+            PowerBreakdown(-1.0, 0.0, 0.0, 0.0)
+
+    def test_zero_baseline_raises(self):
+        zero = PowerBreakdown(0.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            self.make().saving_vs(zero)

@@ -1,0 +1,149 @@
+"""Power models — constants and shapes from Section V-A of the paper."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power import (
+    CorePowerModel,
+    HPESwitchPowerModel,
+    LinkPowerModel,
+    ServerPowerModel,
+    SwitchPowerModel,
+)
+from repro.units import GHZ
+
+
+class TestCorePowerModel:
+    def test_matches_paper_endpoints(self):
+        """Default fit passes through 1.4 W @ 1.2 GHz and 4.4 W @ 2.7 GHz."""
+        m = CorePowerModel()
+        assert m.active_power(1.2 * GHZ) == pytest.approx(1.4, rel=1e-2)
+        assert m.active_power(2.7 * GHZ) == pytest.approx(4.4, rel=1e-2)
+
+    def test_from_endpoints_exact(self):
+        m = CorePowerModel.from_endpoints(1.2 * GHZ, 1.4, 2.7 * GHZ, 4.4)
+        assert m.active_power(1.2 * GHZ) == pytest.approx(1.4, abs=1e-9)
+        assert m.active_power(2.7 * GHZ) == pytest.approx(4.4, abs=1e-9)
+
+    def test_monotone_in_frequency(self):
+        m = CorePowerModel()
+        freqs = np.linspace(1.2, 2.7, 16) * GHZ
+        powers = m.active_power_array(freqs)
+        assert np.all(np.diff(powers) > 0)
+
+    def test_array_matches_scalar(self):
+        m = CorePowerModel()
+        freqs = np.array([1.5, 2.0, 2.5]) * GHZ
+        arr = m.active_power_array(freqs)
+        for f, p in zip(freqs, arr):
+            assert p == pytest.approx(m.active_power(float(f)))
+
+    def test_energy_integrates_busy_and_idle(self):
+        m = CorePowerModel(idle_watts=1.0)
+        e = m.energy(2.0 * GHZ, busy_seconds=10.0, idle_seconds=5.0)
+        assert e == pytest.approx(m.active_power(2.0 * GHZ) * 10.0 + 5.0)
+
+    def test_invalid_frequency_raises(self):
+        with pytest.raises(ConfigurationError):
+            CorePowerModel().active_power(0.0)
+
+    def test_negative_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            CorePowerModel(static_watts=-1.0)
+
+    def test_inconsistent_endpoints_raise(self):
+        with pytest.raises(ConfigurationError):
+            CorePowerModel.from_endpoints(2.7 * GHZ, 4.4, 1.2 * GHZ, 1.4)
+
+    @given(st.floats(1.2, 2.7))
+    def test_cubic_shape_bounds(self, f_ghz):
+        """Power at any ladder frequency stays within the endpoints."""
+        m = CorePowerModel()
+        p = m.active_power(f_ghz * GHZ)
+        assert 1.39 <= p <= 4.41
+
+
+class TestServerPowerModel:
+    def test_total_power_includes_static(self):
+        m = ServerPowerModel(n_cores=2, static_watts=20.0)
+        busy = [0.0, 0.0]
+        freq = [1.2 * GHZ, 1.2 * GHZ]
+        assert m.total_power(busy, freq) == pytest.approx(
+            20.0 + 2 * m.core_model.idle_watts
+        )
+
+    def test_fully_busy_at_max(self):
+        m = ServerPowerModel(n_cores=12)
+        busy = np.ones(12)
+        freq = np.full(12, 2.7 * GHZ)
+        expected = 12 * m.core_model.active_power(2.7 * GHZ)
+        assert m.cpu_power(busy, freq) == pytest.approx(expected)
+
+    def test_busy_fraction_blends_idle(self):
+        m = ServerPowerModel(n_cores=1)
+        half = m.cpu_power([0.5], [2.0 * GHZ])
+        expected = 0.5 * m.core_model.active_power(2.0 * GHZ) + 0.5 * m.core_model.idle_watts
+        assert half == pytest.approx(expected)
+
+    def test_shape_mismatch_raises(self):
+        m = ServerPowerModel(n_cores=4)
+        with pytest.raises(ConfigurationError):
+            m.cpu_power([0.5], [2.0 * GHZ])
+
+    def test_invalid_busy_fraction_raises(self):
+        m = ServerPowerModel(n_cores=1)
+        with pytest.raises(ConfigurationError):
+            m.cpu_power([1.5], [2.0 * GHZ])
+
+    def test_peak_watts(self):
+        m = ServerPowerModel(n_cores=12, static_watts=20.0)
+        assert m.peak_watts == pytest.approx(20.0 + 12 * 4.4, rel=1e-2)
+
+
+class TestSwitchPowerModel:
+    def test_flat_36w(self):
+        m = SwitchPowerModel()
+        assert m.power(True) == 36.0
+        assert m.power(True, utilization=1.0) == 36.0
+
+    def test_off_is_sleep(self):
+        assert SwitchPowerModel().power(False) == 0.0
+
+    def test_sleep_above_active_raises(self):
+        with pytest.raises(ConfigurationError):
+            SwitchPowerModel(active_watts=10.0, sleep_watts=20.0)
+
+    def test_bad_utilization_raises(self):
+        with pytest.raises(ConfigurationError):
+            SwitchPowerModel().power(True, utilization=1.5)
+
+
+class TestHPESwitchPowerModel:
+    def test_idle_is_97_5(self):
+        assert HPESwitchPowerModel().power(True, 0.0) == pytest.approx(97.5)
+
+    def test_full_load_delta_is_0_59(self):
+        m = HPESwitchPowerModel()
+        assert m.power(True, 1.0) - m.power(True, 0.0) == pytest.approx(0.59)
+
+    def test_delta_is_under_one_percent(self):
+        """Fig. 8's observation: utilization changes power by <1%."""
+        m = HPESwitchPowerModel()
+        assert (m.power(True, 1.0) / m.power(True, 0.0) - 1.0) < 0.01
+
+    def test_off(self):
+        assert HPESwitchPowerModel().power(False, 0.5) == 0.0
+
+
+class TestLinkPowerModel:
+    def test_default(self):
+        m = LinkPowerModel()
+        assert m.power(True) == 1.0
+        assert m.power(False) == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ConfigurationError):
+            LinkPowerModel(active_watts=-1.0)

@@ -1,0 +1,87 @@
+"""Bandwidth-demand prediction (90th percentile + safety margin)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.flows import EpochStats, PercentilePredictor, usable_capacity
+from repro.units import GBPS, MBPS
+
+
+class TestUsableCapacity:
+    def test_paper_example(self):
+        """1 Gbps link with 50 Mbps margin -> 950 Mbps usable (Fig. 2)."""
+        assert usable_capacity(GBPS, 50 * MBPS) == pytest.approx(950 * MBPS)
+
+    def test_zero_margin(self):
+        assert usable_capacity(GBPS, 0.0) == pytest.approx(GBPS)
+
+    def test_margin_eats_link_raises(self):
+        with pytest.raises(ConfigurationError):
+            usable_capacity(40 * MBPS, 50 * MBPS)
+
+    def test_negative_margin_raises(self):
+        with pytest.raises(ConfigurationError):
+            usable_capacity(GBPS, -1.0)
+
+
+class TestPercentilePredictor:
+    def test_predicts_90th_percentile(self):
+        p = PercentilePredictor(q=90.0, window=100)
+        p.observe_many(np.arange(101.0))
+        assert p.predict() == pytest.approx(np.percentile(np.arange(1.0, 101.0), 90.0))
+
+    def test_window_slides(self):
+        p = PercentilePredictor(q=50.0, window=3)
+        p.observe_many([1.0, 2.0, 3.0, 100.0])
+        assert p.predict() == pytest.approx(3.0)  # median of [2, 3, 100]
+
+    def test_predict_without_samples_raises(self):
+        with pytest.raises(ConfigurationError):
+            PercentilePredictor().predict()
+
+    def test_reset(self):
+        p = PercentilePredictor()
+        p.observe(5.0)
+        p.reset()
+        assert p.n_samples == 0
+
+    def test_negative_rate_rejected(self):
+        p = PercentilePredictor()
+        with pytest.raises(ConfigurationError):
+            p.observe(-1.0)
+        with pytest.raises(ConfigurationError):
+            p.observe_many([1.0, -2.0])
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            PercentilePredictor(q=200.0)
+        with pytest.raises(ConfigurationError):
+            PercentilePredictor(window=0)
+
+    @given(st.lists(st.floats(0.0, 1e9), min_size=1, max_size=50))
+    def test_prediction_covers_at_least_90pct_of_samples(self, rates):
+        """The predictor's raison d'etre: the predicted demand covers
+        all but the outlier fraction of observed rates (up to the
+        one-sample granularity of a finite window)."""
+        p = PercentilePredictor(q=90.0, window=100)
+        p.observe_many(rates)
+        pred = p.predict()
+        covered = sum(1 for r in rates if r <= pred + 1e-9)
+        assert covered / len(rates) >= 0.9 - 1.0 / len(rates)
+
+
+class TestEpochStats:
+    def test_valid(self):
+        s = EpochStats(epoch=1, n_flows=3, total_demand_bps=30.0, peak_demand_bps=20.0)
+        assert s.epoch == 1
+
+    def test_peak_above_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EpochStats(epoch=0, n_flows=2, total_demand_bps=10.0, peak_demand_bps=20.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EpochStats(epoch=-1, n_flows=0, total_demand_bps=0.0, peak_demand_bps=0.0)

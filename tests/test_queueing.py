@@ -1,0 +1,88 @@
+"""Closed-form queueing formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.netsim import (
+    mg1_mean_wait,
+    mm1_mean_sojourn,
+    mm1_mean_wait,
+    mm1_sojourn_quantile,
+    mm1_utilization,
+    mm1_wait_ccdf,
+)
+
+
+class TestMM1:
+    def test_utilization(self):
+        assert mm1_utilization(50.0, 100.0) == pytest.approx(0.5)
+
+    def test_mean_wait_known_value(self):
+        # rho=0.5, mu=100: Wq = 0.5 / 50 = 0.01
+        assert mm1_mean_wait(50.0, 100.0) == pytest.approx(0.01)
+
+    def test_sojourn_is_wait_plus_service(self):
+        lam, mu = 30.0, 100.0
+        assert mm1_mean_sojourn(lam, mu) == pytest.approx(
+            mm1_mean_wait(lam, mu) + 1.0 / mu
+        )
+
+    def test_unstable_raises(self):
+        with pytest.raises(ConfigurationError):
+            mm1_mean_wait(100.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            mm1_mean_sojourn(120.0, 100.0)
+
+    def test_wait_ccdf_at_zero_is_rho(self):
+        assert mm1_wait_ccdf(0.0, 50.0, 100.0) == pytest.approx(0.5)
+
+    def test_wait_ccdf_decreasing(self):
+        t = np.linspace(0.0, 1.0, 20)
+        c = mm1_wait_ccdf(t, 50.0, 100.0)
+        assert np.all(np.diff(c) < 0)
+
+    def test_sojourn_quantile_median(self):
+        lam, mu = 20.0, 100.0
+        med = mm1_sojourn_quantile(0.5, lam, mu)
+        assert med == pytest.approx(np.log(2.0) / (mu - lam))
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            mm1_sojourn_quantile(1.0, 10.0, 100.0)
+
+    @given(st.floats(0.01, 0.95), st.floats(1.0, 1000.0))
+    def test_wait_increases_with_load(self, rho, mu):
+        lam = rho * mu
+        w1 = mm1_mean_wait(lam, mu)
+        w2 = mm1_mean_wait(min(lam * 1.05, 0.99 * mu), mu)
+        assert w2 >= w1
+
+
+class TestMG1:
+    def test_exponential_service_reduces_to_mm1(self):
+        """M/G/1 with SCV=1 equals M/M/1."""
+        lam, mu = 40.0, 100.0
+        assert mg1_mean_wait(lam, 1.0 / mu, 1.0) == pytest.approx(mm1_mean_wait(lam, mu))
+
+    def test_deterministic_service_halves_wait(self):
+        lam, mu = 40.0, 100.0
+        assert mg1_mean_wait(lam, 1.0 / mu, 0.0) == pytest.approx(
+            0.5 * mm1_mean_wait(lam, mu)
+        )
+
+    def test_high_variability_inflates_wait(self):
+        lam, mean_s = 40.0, 0.01
+        assert mg1_mean_wait(lam, mean_s, 4.0) > mg1_mean_wait(lam, mean_s, 1.0)
+
+    def test_unstable_raises(self):
+        with pytest.raises(ConfigurationError):
+            mg1_mean_wait(200.0, 0.01, 1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            mg1_mean_wait(10.0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            mg1_mean_wait(10.0, 0.01, -1.0)

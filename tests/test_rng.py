@@ -1,0 +1,52 @@
+"""Deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_is_deterministic(self):
+        a = ensure_rng(None).random(5)
+        b = ensure_rng(None).random(5)
+        assert np.array_equal(a, b)
+
+    def test_none_matches_default_seed(self):
+        a = ensure_rng(None).random(3)
+        b = np.random.default_rng(DEFAULT_SEED).random(3)
+        assert np.array_equal(a, b)
+
+    def test_int_seed(self):
+        a = ensure_rng(42).random(5)
+        b = np.random.default_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(7)
+        assert ensure_rng(g) is g
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(8), ensure_rng(2).random(8))
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(ensure_rng(0), 4)
+        assert len(children) == 4
+
+    def test_children_independent(self):
+        children = spawn(ensure_rng(0), 2)
+        assert not np.array_equal(children[0].random(16), children[1].random(16))
+
+    def test_zero_children(self):
+        assert spawn(ensure_rng(0), 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)
+
+    def test_spawn_reproducible(self):
+        a = spawn(ensure_rng(5), 3)[2].random(4)
+        b = spawn(ensure_rng(5), 3)[2].random(4)
+        assert np.array_equal(a, b)

@@ -1,0 +1,46 @@
+"""Synthetic search service model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server import default_service_model
+from repro.units import GHZ
+
+
+class TestDefaultServiceModel:
+    def test_calibration_shape(self, service_model):
+        """Search-leaf shape: ~3.5 ms mean, heavy p99 tail."""
+        mean = service_model.mean_work()
+        assert 3e-3 < mean < 4e-3
+        p99 = service_model.distribution.quantile(0.99)
+        assert p99 > 2.5 * mean
+
+    def test_mean_service_time_scales_with_frequency(self, service_model):
+        fast = service_model.mean_service_time(2.7 * GHZ)
+        slow = service_model.mean_service_time(1.2 * GHZ)
+        assert slow > fast
+        # phi=0.2 bounds the slowdown below the pure 2.25x ratio.
+        assert slow / fast < 2.25
+
+    def test_utilization_round_trip(self, service_model):
+        rate = service_model.arrival_rate_for_utilization(0.3)
+        assert service_model.utilization_at(rate, 2.7 * GHZ) == pytest.approx(0.3)
+
+    def test_utilization_rises_at_lower_frequency(self, service_model):
+        rate = service_model.arrival_rate_for_utilization(0.3)
+        assert service_model.utilization_at(rate, 1.2 * GHZ) > 0.3
+
+    def test_invalid_utilization(self, service_model):
+        with pytest.raises(ConfigurationError):
+            service_model.arrival_rate_for_utilization(1.0)
+        with pytest.raises(ConfigurationError):
+            service_model.utilization_at(-1.0, 2e9)
+
+    def test_sampling_deterministic(self, service_model):
+        a = service_model.sample_work(32, seed_or_rng=5)
+        b = service_model.sample_work(32, seed_or_rng=5)
+        assert (a == b).all()
+
+    def test_samples_follow_distribution(self, service_model, rng):
+        s = service_model.sample_work(50_000, rng)
+        assert s.mean() == pytest.approx(service_model.mean_work(), rel=0.03)

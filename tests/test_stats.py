@@ -1,0 +1,101 @@
+"""Statistics helpers: percentiles, summaries, running moments, EWMA."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stats import LatencySummary, RunningMean, ewma, percentile, tail_latency
+
+
+class TestPercentile:
+    def test_median_of_known_values(self):
+        assert percentile([1.0, 2.0, 3.0], 50.0) == pytest.approx(2.0)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0.0) == pytest.approx(1.0)
+        assert percentile(data, 100.0) == pytest.approx(9.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 95.0)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], -0.1)
+
+    def test_tail_latency_default_is_p95(self):
+        data = np.arange(101.0)
+        assert tail_latency(data) == pytest.approx(percentile(data, 95.0))
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=200))
+    def test_p100_is_max(self, data):
+        assert percentile(data, 100.0) == pytest.approx(max(data))
+
+    @given(
+        st.lists(st.floats(0.0, 1e6), min_size=1, max_size=100),
+        st.floats(0.0, 100.0),
+    )
+    def test_percentile_within_range(self, data, q):
+        p = percentile(data, q)
+        assert min(data) <= p <= max(data)
+
+
+class TestLatencySummary:
+    def test_ordering_of_percentiles(self, rng):
+        s = LatencySummary.from_samples(rng.exponential(1.0, 5000))
+        assert s.p50 <= s.p90 <= s.p95 <= s.p99 <= s.max
+
+    def test_count_and_mean(self):
+        s = LatencySummary.from_samples([1.0, 3.0])
+        assert s.count == 2
+        assert s.mean == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            LatencySummary.from_samples([])
+
+    def test_constant_samples(self):
+        s = LatencySummary.from_samples([7.0] * 10)
+        assert s.p50 == s.p99 == s.max == pytest.approx(7.0)
+
+
+class TestRunningMean:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(10.0, 3.0, 500)
+        acc = RunningMean()
+        acc.extend(data)
+        assert acc.mean == pytest.approx(float(np.mean(data)))
+        assert acc.variance == pytest.approx(float(np.var(data)))
+        assert acc.std == pytest.approx(float(np.std(data)))
+
+    def test_empty_defaults(self):
+        acc = RunningMean()
+        assert acc.mean == 0.0
+        assert acc.variance == 0.0
+        assert acc.count == 0
+
+    def test_single_value(self):
+        acc = RunningMean()
+        acc.add(42.0)
+        assert acc.mean == pytest.approx(42.0)
+        assert acc.variance == pytest.approx(0.0)
+
+
+class TestEwma:
+    def test_alpha_zero_keeps_history(self):
+        assert ewma(5.0, 100.0, 0.0) == pytest.approx(5.0)
+
+    def test_alpha_one_takes_sample(self):
+        assert ewma(5.0, 100.0, 1.0) == pytest.approx(100.0)
+
+    def test_midpoint(self):
+        assert ewma(0.0, 10.0, 0.5) == pytest.approx(5.0)
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(ConfigurationError):
+            ewma(0.0, 1.0, 1.5)

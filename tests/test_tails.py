@@ -1,0 +1,80 @@
+"""Analytic path-latency distributions vs the Monte-Carlo sampler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim import (
+    LinkLatencyModel,
+    hop_delay_distribution,
+    path_delay_distribution,
+    path_quantile,
+    sample_path_delays,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LinkLatencyModel()
+
+
+class TestHopDistribution:
+    def test_zero_utilization_is_point_mass(self, model):
+        d = hop_delay_distribution(model, 0.0)
+        base = model.propagation_s + model.transmission_s
+        assert d.mean() == pytest.approx(base, abs=d.dx)
+        assert d.quantile(0.999) == pytest.approx(base, abs=2 * d.dx)
+
+    def test_mean_matches_analytic(self, model):
+        """Grid mean matches the closed form to within half a bin of
+        discretization bias."""
+        for rho in (0.2, 0.5, 0.8):
+            d = hop_delay_distribution(model, rho)
+            assert d.mean() == pytest.approx(
+                float(model.mean_delay(rho)), abs=d.dx, rel=0.02
+            )
+
+    def test_normalized(self, model):
+        d = hop_delay_distribution(model, 0.6)
+        assert d.pmf.sum() == pytest.approx(1.0)
+
+    def test_rho_above_cap_clipped(self, model):
+        a = hop_delay_distribution(model, 2.0)
+        b = hop_delay_distribution(model, model.rho_cap)
+        assert a.mean() == pytest.approx(b.mean(), rel=1e-6)
+
+    def test_negative_utilization_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            hop_delay_distribution(model, -0.1)
+
+
+class TestPathDistribution:
+    def test_mean_additivity(self, model):
+        utils = [0.3, 0.6, 0.1]
+        d = path_delay_distribution(model, utils)
+        expected = sum(float(model.mean_delay(u)) for u in utils)
+        # Per-hop discretization bias (<= dx/2 each) adds across hops.
+        assert d.mean() == pytest.approx(expected, abs=len(utils) * d.dx, rel=0.02)
+
+    def test_quantiles_match_monte_carlo(self, model):
+        """Analytic p95/p99 agree with 200k-sample Monte Carlo."""
+        utils = [0.2, 0.7, 0.2, 0.5]
+        samples = sample_path_delays(model, utils, 200_000, seed_or_rng=3)
+        for q in (0.95, 0.99):
+            analytic = path_quantile(model, utils, q)
+            empirical = float(np.quantile(samples, q))
+            assert analytic == pytest.approx(empirical, rel=0.06)
+
+    def test_empty_path_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            path_delay_distribution(model, [])
+
+    def test_quantile_monotone_in_q(self, model):
+        utils = [0.5, 0.5]
+        qs = [path_quantile(model, utils, q) for q in (0.5, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_heavier_load_heavier_tail(self, model):
+        light = path_quantile(model, [0.2] * 4, 0.99)
+        heavy = path_quantile(model, [0.8] * 4, 0.99)
+        assert heavy > 5 * light

@@ -1,0 +1,138 @@
+"""Generic topology wrapper and active-subnet invariants."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import ActiveSubnet, NodeKind, Topology, canonical_link
+
+
+def tiny_graph():
+    """h1 - s1 - s2 - h2 with a redundant switch s3 bridging s1-s2."""
+    g = nx.Graph()
+    g.add_node("h1", kind=NodeKind.HOST)
+    g.add_node("h2", kind=NodeKind.HOST)
+    for s in ("s1", "s2", "s3"):
+        g.add_node(s, kind=NodeKind.SWITCH)
+    for u, v in [("h1", "s1"), ("s1", "s2"), ("h2", "s2"), ("s1", "s3"), ("s3", "s2")]:
+        g.add_edge(u, v, capacity=1e9)
+    return g
+
+
+@pytest.fixture()
+def tiny():
+    return Topology(tiny_graph())
+
+
+class TestCanonicalLink:
+    def test_orders_lexicographically(self):
+        assert canonical_link("b", "a") == ("a", "b")
+        assert canonical_link("a", "b") == ("a", "b")
+
+
+class TestTopologyValidation:
+    def test_counts(self, tiny):
+        assert tiny.n_hosts == 2
+        assert tiny.n_switches == 3
+        assert tiny.n_links == 5
+
+    def test_rejects_directed_graph(self):
+        with pytest.raises(ConfigurationError):
+            Topology(nx.DiGraph())
+
+    def test_rejects_missing_kind(self):
+        g = nx.Graph()
+        g.add_node("x")
+        with pytest.raises(ConfigurationError):
+            Topology(g)
+
+    def test_rejects_nonpositive_capacity(self):
+        g = tiny_graph()
+        g.edges["h1", "s1"]["capacity"] = 0.0
+        with pytest.raises(ConfigurationError):
+            Topology(g)
+
+    def test_rejects_multihomed_host(self):
+        g = tiny_graph()
+        g.add_edge("h1", "s2", capacity=1e9)
+        with pytest.raises(ConfigurationError):
+            Topology(g)
+
+    def test_attachment_switch(self, tiny):
+        assert tiny.attachment_switch("h1") == "s1"
+        with pytest.raises(ConfigurationError):
+            tiny.attachment_switch("s1")
+
+    def test_capacity_lookup(self, tiny):
+        assert tiny.capacity("h1", "s1") == pytest.approx(1e9)
+        with pytest.raises(ConfigurationError):
+            tiny.capacity("h1", "h2")
+
+    def test_switch_links_canonical(self, tiny):
+        links = tiny.switch_links("s1")
+        assert canonical_link("h1", "s1") in links
+        assert all(l == canonical_link(*l) for l in links)
+
+
+class TestActiveSubnet:
+    def test_full_subnet(self, tiny):
+        sub = tiny.full_subnet()
+        assert sub.n_switches_on == 3
+        assert sub.n_links_on == 5
+        assert sub.connects_all_hosts()
+
+    def test_minimal_valid_subnet(self, tiny):
+        sub = tiny.subnet(
+            {"s1", "s2"},
+            {("h1", "s1"), ("h2", "s2"), ("s1", "s2")},
+        )
+        assert sub.connects("h1", "h2")
+        assert not sub.is_switch_on("s3")
+
+    def test_link_on_requires_switch_on(self, tiny):
+        with pytest.raises(ConfigurationError):
+            tiny.subnet({"s1", "s2"}, {("h1", "s1"), ("h2", "s2"), ("s1", "s3")})
+
+    def test_switch_on_requires_a_link(self, tiny):
+        with pytest.raises(ConfigurationError):
+            tiny.subnet({"s1", "s2", "s3"}, {("h1", "s1"), ("h2", "s2"), ("s1", "s2")})
+
+    def test_host_attachment_must_be_on(self, tiny):
+        with pytest.raises(ConfigurationError):
+            tiny.subnet({"s1", "s2"}, {("h1", "s1"), ("s1", "s2")})
+
+    def test_unknown_switch_rejected(self, tiny):
+        with pytest.raises(ConfigurationError):
+            tiny.subnet({"sX"}, set())
+
+    def test_disconnection_detected(self, tiny):
+        # Turn off the two bridges: hosts become disconnected but the
+        # subnet itself is structurally valid.
+        sub = tiny.subnet({"s1", "s2"}, {("h1", "s1"), ("h2", "s2")})
+        assert not sub.connects_all_hosts()
+        assert not sub.connects("h1", "h2")
+
+    def test_network_power_counts_on_devices(self, tiny):
+        from repro.power import LinkPowerModel, SwitchPowerModel
+
+        sub = tiny.subnet(
+            {"s1", "s2"}, {("h1", "s1"), ("h2", "s2"), ("s1", "s2")}
+        )
+        sw, ln = sub.network_power(SwitchPowerModel(36.0), LinkPowerModel(1.0))
+        assert sw == pytest.approx(2 * 36.0)
+        assert ln == pytest.approx(3 * 1.0)
+
+    def test_union(self, tiny):
+        a = tiny.subnet({"s1", "s2"}, {("h1", "s1"), ("h2", "s2"), ("s1", "s2")})
+        b = tiny.subnet(
+            {"s1", "s2", "s3"},
+            {("h1", "s1"), ("h2", "s2"), ("s1", "s3"), ("s2", "s3")},
+        )
+        u = a.union(b)
+        assert u.n_switches_on == 3
+        assert u.n_links_on == 5
+
+    def test_active_graph_has_capacities(self, tiny):
+        sub = tiny.full_subnet()
+        g = sub.active_graph()
+        assert g.edges["s1", "s2"]["capacity"] == pytest.approx(1e9)

@@ -1,0 +1,49 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestTime:
+    def test_ms_round_trip(self):
+        assert units.to_ms(units.from_ms(30.0)) == pytest.approx(30.0)
+
+    def test_from_ms_is_seconds(self):
+        assert units.from_ms(1.0) == pytest.approx(1e-3)
+
+    def test_us_round_trip(self):
+        assert units.to_us(units.from_us(139.0)) == pytest.approx(139.0)
+
+    def test_from_us_is_seconds(self):
+        assert units.from_us(1.0) == pytest.approx(1e-6)
+
+    def test_minute_hour(self):
+        assert units.HOUR == 60 * units.MINUTE
+
+
+class TestBandwidth:
+    def test_mbps_round_trip(self):
+        assert units.to_mbps(units.from_mbps(20.0)) == pytest.approx(20.0)
+
+    def test_gbps_is_1e9(self):
+        assert units.from_gbps(1.0) == pytest.approx(1e9)
+
+    def test_gbps_mbps_consistency(self):
+        assert units.from_gbps(1.0) == pytest.approx(units.from_mbps(1000.0))
+
+
+class TestFrequency:
+    def test_ghz_round_trip(self):
+        assert units.to_ghz(units.from_ghz(2.7)) == pytest.approx(2.7)
+
+    def test_mhz_step(self):
+        assert units.from_ghz(1.3) - units.from_ghz(1.2) == pytest.approx(100 * units.MHZ)
+
+
+class TestEnergy:
+    def test_kwh(self):
+        assert units.to_kwh(3.6e6) == pytest.approx(1.0)
+
+    def test_watt_hour(self):
+        assert units.WATT_HOUR == pytest.approx(3600.0)

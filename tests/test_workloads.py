@@ -1,0 +1,108 @@
+"""Workload generators: diurnal trace and search deployment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    MINUTES_PER_DAY,
+    DiurnalTrace,
+    SearchWorkload,
+    synth_diurnal_trace,
+)
+
+
+class TestDiurnalTrace:
+    def test_default_spans_a_day(self):
+        t = synth_diurnal_trace(seed_or_rng=0)
+        assert len(t) == MINUTES_PER_DAY
+
+    def test_ranges_match_fig14(self):
+        t = synth_diurnal_trace(seed_or_rng=0)
+        assert t.search_load.min() >= 0.2 - 1e-9
+        assert t.search_load.max() <= 1.0 + 1e-9
+        assert t.background_utilization.min() >= 0.1 - 1e-9
+        assert t.background_utilization.max() <= 0.6 + 1e-9
+
+    def test_peak_near_configured_minute(self):
+        t = synth_diurnal_trace(peak_minute=14 * 60, noise=0.0, seed_or_rng=0)
+        assert abs(t.peak_minute - 14 * 60) <= 1
+
+    def test_trough_opposite_peak(self):
+        t = synth_diurnal_trace(peak_minute=14 * 60, noise=0.0, seed_or_rng=0)
+        assert abs(t.trough_minute - 2 * 60) <= 1  # 12h away
+
+    def test_deterministic(self):
+        a = synth_diurnal_trace(seed_or_rng=7)
+        b = synth_diurnal_trace(seed_or_rng=7)
+        assert np.array_equal(a.search_load, b.search_load)
+
+    def test_subsample(self):
+        t = synth_diurnal_trace(seed_or_rng=0).subsampled(10)
+        assert len(t) == MINUTES_PER_DAY // 10
+        assert t.minutes[1] - t.minutes[0] == 10
+
+    def test_at_lookup(self):
+        t = synth_diurnal_trace(noise=0.0, seed_or_rng=0)
+        load, bg = t.at(t.peak_minute)
+        assert load == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            synth_diurnal_trace(n_minutes=0)
+        with pytest.raises(ConfigurationError):
+            synth_diurnal_trace(search_min=0.0)
+        with pytest.raises(ConfigurationError):
+            synth_diurnal_trace(background_max=1.0)
+        with pytest.raises(ConfigurationError):
+            synth_diurnal_trace(noise=-0.1)
+
+    def test_trace_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalTrace(
+                minutes=np.array([0.0]),
+                search_load=np.array([0.5, 0.5]),
+                background_utilization=np.array([0.1]),
+            )
+        with pytest.raises(ConfigurationError):
+            DiurnalTrace(
+                minutes=np.array([0.0]),
+                search_load=np.array([1.5]),
+                background_utilization=np.array([0.1]),
+            )
+
+
+class TestSearchWorkload:
+    def test_defaults(self, ft4):
+        wl = SearchWorkload(ft4)
+        assert wl.aggregator == ft4.hosts[0]
+        assert wl.n_isns == 15
+        assert wl.server_budget_s == pytest.approx(25e-3)
+
+    def test_query_flows_count(self, ft4):
+        wl = SearchWorkload(ft4)
+        assert len(wl.query_flows()) == 30
+
+    def test_traffic_composition(self, ft4):
+        wl = SearchWorkload(ft4)
+        ts = wl.traffic(0.2, seed_or_rng=1)
+        assert len(ts.latency_sensitive) == 30
+        assert len(ts.latency_tolerant) == 16
+
+    def test_with_constraint(self, ft4):
+        wl = SearchWorkload(ft4).with_constraint(22e-3)
+        assert wl.latency_constraint_s == pytest.approx(22e-3)
+        assert wl.server_budget_s == pytest.approx(17e-3)
+
+    def test_invalid_aggregator(self, ft4):
+        with pytest.raises(ConfigurationError):
+            SearchWorkload(ft4, aggregator="e0_0")
+
+    def test_invalid_budget(self, ft4):
+        with pytest.raises(ConfigurationError):
+            SearchWorkload(ft4, latency_constraint_s=4e-3, network_budget_s=5e-3)
+
+    def test_isns_exclude_aggregator(self, ft4):
+        wl = SearchWorkload(ft4, aggregator="h1_0_0")
+        assert "h1_0_0" not in wl.isns
+        assert len(wl.isns) == 15
