@@ -283,6 +283,47 @@ class DiurnalRunner:
 
         return self._profiles.get_or_build((scheme, level, bg_bucket), build)
 
+    # -- sweep-executor integration ----------------------------------------------
+
+    def consolidation_entry(self, level: int, bg_bucket: float):
+        """Public accessor: (traffic, result) or None when infeasible."""
+        return self._consolidation_for(level, bg_bucket)
+
+    def build_profile(self, scheme: str, level: int, bg_bucket: float) -> PowerProfile | None:
+        """Public accessor: build (or fetch) one power profile."""
+        return self._profile(scheme, level, bg_bucket)
+
+    def required_profiles(self, trace: DiurnalTrace, epoch_minutes: int = 10):
+        """The (scheme, level, bg_bucket) combos :meth:`run` will price.
+
+        Lets callers precompute profiles in parallel (they are
+        independent DES grids) and hand them back via
+        :meth:`preload_profile` before the cheap day loop.
+        """
+        epochs = trace.subsampled(epoch_minutes)
+        buckets = sorted({self._bucket(float(bg)) for bg in epochs.background_utilization})
+        combos: list[tuple[str, int, float]] = []
+        for bucket in buckets:
+            for scheme in ("no-pm", "timetrader"):
+                combos.append((scheme, 0, bucket))
+            for level in self.levels:
+                combos.append(("eprons", level, bucket))
+        return combos
+
+    def preload_profile(
+        self,
+        scheme: str,
+        level: int,
+        bg_bucket: float,
+        entry,
+        profile: PowerProfile | None,
+    ) -> None:
+        """Install an externally built profile (``entry``/``profile``
+        are ``None`` for an infeasible level)."""
+        self._consolidations[(level, bg_bucket)] = entry
+        if profile is not None:
+            self._profiles.put((scheme, level, bg_bucket), profile)
+
     def _network_watts(self, level: int) -> float:
         subnet = aggregation_policy(self.workload.topology, level)
         sw, ln = subnet.network_power(self.switch_model, self.link_model)

@@ -1,0 +1,168 @@
+"""Parallel sweep executor.
+
+Fans a list of :class:`~repro.exec.tasks.SweepTask` out over a
+``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``) or runs them
+serially in-process (``jobs == 1``), and reassembles results **in task
+order** regardless of completion order — which, combined with task
+functions being pure functions of their spec, makes sweep output
+bit-identical at any parallelism level.
+
+Each task yields a :class:`TaskOutcome` that distinguishes the three
+ways a sweep point can end:
+
+* ``ok`` — the task function's return value;
+* ``infeasible`` — it raised :class:`~repro.errors.InfeasibleError`
+  (an operating point the paper's optimizer legitimately rejects, e.g.
+  "aggregation 3 cannot support a tail latency constraint < 29 ms");
+* ``error`` — it crashed; the traceback is captured so one bad point
+  does not take down a 200-point sweep, and :meth:`TaskOutcome.unwrap`
+  re-raises loudly for callers that want fail-fast behavior.
+
+Results are memoized through :mod:`repro.exec.cache`; fully warm sweeps
+never spin up a process pool at all.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+
+from ..errors import InfeasibleError, SimulationError
+from .cache import STATUS_INFEASIBLE, STATUS_OK, ResultCache
+from .context import ExecContext, get_context, use_context
+from .registry import resolve_task_fn
+from .tasks import SweepTask
+
+__all__ = ["TaskOutcome", "SweepExecutionError", "run_sweep", "sweep_stats"]
+
+
+class SweepExecutionError(SimulationError):
+    """A sweep task crashed (non-infeasibility failure)."""
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result envelope for one executed (or cache-served) task."""
+
+    task: SweepTask
+    status: str  # "ok" | "infeasible" | "error"
+    value: object = None
+    error: str = ""
+    error_type: str = ""
+    tb: str = ""
+    duration_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def infeasible(self) -> bool:
+        return self.status == "infeasible"
+
+    def unwrap(self):
+        """The value, or the task's failure re-raised."""
+        if self.status == "ok":
+            return self.value
+        if self.status == "infeasible":
+            raise InfeasibleError(self.error)
+        raise SweepExecutionError(
+            f"task {self.task} failed: {self.error_type}: {self.error}\n{self.tb}"
+        )
+
+
+def _execute_task(task: SweepTask, cache_dir: str, cache_enabled: bool) -> TaskOutcome:
+    """Run one task (worker side); never raises."""
+    # Align the worker's ambient context with the parent's so nested
+    # cached sub-ops (consolidation solves inside a joint evaluation)
+    # share the same cache directory.
+    from .context import set_context
+
+    set_context(ExecContext(jobs=1, cache=cache_enabled, cache_dir=cache_dir))
+    cache = ResultCache(cache_dir, enabled=cache_enabled)
+    start = perf_counter()
+    try:
+        fn = resolve_task_fn(task.fn)
+        value = fn(**task.kwargs)
+    except InfeasibleError as err:
+        cache.store(task.fn, task.kwargs, STATUS_INFEASIBLE, str(err))
+        return TaskOutcome(
+            task=task,
+            status="infeasible",
+            error=str(err),
+            error_type=type(err).__name__,
+            duration_s=perf_counter() - start,
+        )
+    except Exception as err:  # noqa: BLE001 — worker must not die on task crash
+        return TaskOutcome(
+            task=task,
+            status="error",
+            error=str(err),
+            error_type=type(err).__name__,
+            tb=traceback.format_exc(),
+            duration_s=perf_counter() - start,
+        )
+    cache.store(task.fn, task.kwargs, STATUS_OK, value)
+    return TaskOutcome(
+        task=task, status="ok", value=value, duration_s=perf_counter() - start
+    )
+
+
+def run_sweep(
+    tasks: list[SweepTask], ctx: ExecContext | None = None
+) -> list[TaskOutcome]:
+    """Execute every task; outcomes are returned in task order.
+
+    Cache hits are resolved in the parent process first; only misses are
+    dispatched, so a warm sweep costs one cache probe per task.
+    """
+    ctx = ctx or get_context()
+    cache_dir = ctx.resolved_cache_dir()
+    cache = ResultCache(cache_dir, enabled=ctx.cache)
+
+    outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+    misses: list[int] = []
+    for i, task in enumerate(tasks):
+        hit, status, value = cache.lookup(task.fn, task.kwargs)
+        if not hit:
+            misses.append(i)
+        elif status == STATUS_INFEASIBLE:
+            outcomes[i] = TaskOutcome(
+                task=task, status="infeasible", error=value,
+                error_type="InfeasibleError", cached=True,
+            )
+        else:
+            outcomes[i] = TaskOutcome(task=task, status="ok", value=value, cached=True)
+
+    if misses:
+        if ctx.jobs > 1 and len(misses) > 1:
+            with ProcessPoolExecutor(max_workers=min(ctx.jobs, len(misses))) as pool:
+                futures = [
+                    pool.submit(_execute_task, tasks[i], cache_dir, ctx.cache)
+                    for i in misses
+                ]
+                for i, future in zip(misses, futures):
+                    outcomes[i] = future.result()
+        else:
+            with use_context(ctx):
+                for i in misses:
+                    outcomes[i] = _execute_task(tasks[i], cache_dir, ctx.cache)
+    return outcomes  # type: ignore[return-value]
+
+
+def sweep_stats(outcomes: list[TaskOutcome]) -> str:
+    """One-line summary: counts, cache hits, worker compute time."""
+    n = len(outcomes)
+    cached = sum(1 for o in outcomes if o.cached)
+    infeasible = sum(1 for o in outcomes if o.infeasible)
+    errors = sum(1 for o in outcomes if o.status == "error")
+    worker_s = sum(o.duration_s for o in outcomes)
+    parts = [f"{n} tasks", f"{cached} cached", f"{worker_s:.1f}s task time"]
+    if infeasible:
+        parts.append(f"{infeasible} infeasible")
+    if errors:
+        parts.append(f"{errors} errors")
+    return ", ".join(parts)

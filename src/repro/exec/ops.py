@@ -1,0 +1,298 @@
+"""Registered sweep operations — the worker-side vocabulary.
+
+Every experiment point decomposes into a handful of primitive,
+*reconstructible-from-spec* operations: solve a consolidation, run one
+server simulation, price one joint operating point, summarize network
+tails, build a diurnal power profile.  Each op takes only picklable
+primitives (plus frozen config dataclasses), rebuilds topology /
+workload / samplers deterministically from them, and returns a
+picklable result — which is what lets the executor run it in any
+process and the cache memoize it across figures: fig13's per-level
+consolidation solves, fig12's level-0 routing for its latency sampler
+and the ablations' all share the single ``consolidate`` op.
+
+Governors are named, not passed as callables (closures don't pickle);
+:func:`governor_factory` is the one place the name → policy mapping
+lives.
+"""
+
+from __future__ import annotations
+
+from ..consolidation.elastictree import ElasticTreeConsolidator
+from ..consolidation.heuristic import GreedyConsolidator, route_on_subnet
+from ..control.latency_monitor import LatencyMonitor
+from ..core.joint import JointEvaluation, JointSimParams, evaluate_operating_point
+from ..errors import ConfigurationError
+from ..netsim.network import NetworkModel
+from ..policies.eprons_server import EpronsServerGovernor
+from ..policies.maxfreq import MaxFrequencyGovernor
+from ..policies.oracle import OracleGovernor
+from ..policies.rubik import RubikGovernor, RubikPlusGovernor
+from ..policies.timetrader import TimeTraderGovernor
+from ..policies.variants import EpronsNoReorderGovernor
+from ..power.sleep import POWERNAP_SLEEP
+from ..server.dvfs import XEON_LADDER
+from ..sim.runner import ServerSimConfig, ServerSimResult, run_server_simulation
+from ..topology.aggregation import aggregation_policy
+from ..topology.fattree import FatTree
+from ..workloads.search import SearchWorkload
+from .cache import cached_call
+from .registry import task_fn
+
+__all__ = [
+    "governor_factory",
+    "workload_for",
+    "consolidate_op",
+    "server_sim_op",
+    "joint_eval_op",
+    "network_latency_summary_op",
+    "diurnal_profile_op",
+    "GOVERNOR_NAMES",
+]
+
+GOVERNOR_NAMES = (
+    "no-pm",
+    "timetrader",
+    "rubik",
+    "rubik+",
+    "eprons-server",
+    "eprons-noreorder",
+    "oracle",
+)
+
+_SLEEP_MODELS = {"none": None, "powernap": POWERNAP_SLEEP}
+
+
+def governor_factory(name: str, workload: SearchWorkload):
+    """A fresh-instance factory for the named DVFS policy."""
+    svc = workload.service_model
+    constraint_s = workload.latency_constraint_s
+    if name == "no-pm":
+        return lambda: MaxFrequencyGovernor(XEON_LADDER)
+    if name == "timetrader":
+        return lambda: TimeTraderGovernor(XEON_LADDER, constraint_s)
+    if name == "rubik":
+        return lambda: RubikGovernor(svc, XEON_LADDER)
+    if name == "rubik+":
+        return lambda: RubikPlusGovernor(svc, XEON_LADDER)
+    if name == "eprons-server":
+        return lambda: EpronsServerGovernor(svc, XEON_LADDER)
+    if name == "eprons-noreorder":
+        return lambda: EpronsNoReorderGovernor(svc, XEON_LADDER)
+    if name == "oracle":
+        return lambda: OracleGovernor(svc.frequency_model, XEON_LADDER)
+    raise ConfigurationError(f"unknown governor {name!r}; known: {GOVERNOR_NAMES}")
+
+
+def workload_for(arity: int, constraint_ms: float | None = None) -> SearchWorkload:
+    """The paper's search deployment on a k-ary fat-tree."""
+    ft = FatTree(arity)
+    if constraint_ms is None:
+        return SearchWorkload(ft)
+    return SearchWorkload(ft, latency_constraint_s=constraint_ms * 1e-3)
+
+
+# -- consolidation -----------------------------------------------------------------
+
+
+@task_fn("consolidate")
+def consolidate_op(
+    *,
+    arity: int,
+    scheme: str,
+    background: float,
+    traffic_seed: int,
+    level: int = 0,
+    scale_factor: float = 1.0,
+    best_effort: bool = False,
+):
+    """Solve one consolidation instance.
+
+    ``scheme``:
+
+    * ``"aggregation"`` — route on the fixed aggregation-``level``
+      subnet (the Fig. 13 policies);
+    * ``"greedy"`` — latency-aware greedy consolidation at K =
+      ``scale_factor``;
+    * ``"elastictree"`` — bandwidth-only baseline.
+
+    Raises :class:`~repro.errors.InfeasibleError` when the instance
+    cannot be packed — the executor records that as a legitimate
+    "infeasible" outcome, and the cache remembers it.
+    """
+    workload = workload_for(arity)
+    traffic = workload.traffic(background, seed_or_rng=traffic_seed)
+    if scheme == "aggregation":
+        subnet = aggregation_policy(workload.topology, level)
+        return route_on_subnet(subnet, traffic)
+    if scheme == "greedy":
+        consolidator = GreedyConsolidator(workload.topology)
+        return consolidator.consolidate(traffic, scale_factor, best_effort_scale=best_effort)
+    if scheme == "elastictree":
+        consolidator = ElasticTreeConsolidator(workload.topology)
+        return consolidator.consolidate(traffic, scale_factor, best_effort_scale=best_effort)
+    raise ConfigurationError(f"unknown consolidation scheme {scheme!r}")
+
+
+def _cached_consolidation(**spec):
+    """Worker-side cached consolidation solve (shared across figures)."""
+    return cached_call("consolidate", **spec)
+
+
+# -- server simulation -------------------------------------------------------------
+
+
+@task_fn("server-sim")
+def server_sim_op(
+    *,
+    arity: int,
+    constraint_ms: float,
+    governor: str,
+    utilization: float,
+    background: float,
+    duration_s: float,
+    warmup_s: float,
+    n_cores: int,
+    seed: int,
+    sleep: str = "none",
+) -> ServerSimResult:
+    """One server-simulation run (the Fig. 12 unit of work).
+
+    Per-request network latencies are sampled from the full (level-0)
+    topology routed at ``background`` — the paper's "network is not
+    power-managed here" setup; the underlying consolidation solve is
+    itself cache-shared with every other figure at the same traffic.
+    """
+    workload = workload_for(arity, constraint_ms)
+    consolidation = _cached_consolidation(
+        arity=arity, scheme="aggregation", level=0,
+        background=background, traffic_seed=seed,
+    )
+    traffic = workload.traffic(background, seed_or_rng=seed)
+    monitor = LatencyMonitor(NetworkModel(workload.topology, traffic, consolidation.routing))
+    sampler = monitor.pooled_sampler(seed_or_rng=seed)
+    config = ServerSimConfig(
+        utilization=utilization,
+        latency_constraint_s=workload.latency_constraint_s,
+        network_budget_s=workload.network_budget_s,
+        n_cores=n_cores,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+    )
+    return run_server_simulation(
+        workload.service_model,
+        governor_factory(governor, workload),
+        config,
+        network_latency_sampler=sampler,
+        sleep_model=_SLEEP_MODELS[sleep],
+    )
+
+
+# -- joint evaluation --------------------------------------------------------------
+
+
+@task_fn("joint-eval")
+def joint_eval_op(
+    *,
+    arity: int,
+    constraint_ms: float,
+    background: float,
+    level: int,
+    utilization: float,
+    governor: str,
+    params: JointSimParams,
+    traffic_seed: int,
+) -> JointEvaluation:
+    """Price one (aggregation level, load, governor) operating point
+    end to end — the Fig. 13 / datacenter-scale unit of work.
+
+    The consolidation solve goes through the shared cache, so the eight
+    constraint points of one fig13 background level all reuse a single
+    routing, as does any other figure at the same traffic spec.
+    """
+    workload = workload_for(arity, constraint_ms)
+    consolidation = _cached_consolidation(
+        arity=arity, scheme="aggregation", level=level,
+        background=background, traffic_seed=traffic_seed,
+    )
+    traffic = workload.traffic(background, seed_or_rng=traffic_seed)
+    return evaluate_operating_point(
+        workload,
+        traffic,
+        consolidation,
+        utilization,
+        governor_factory(governor, workload),
+        params=params,
+    )
+
+
+# -- network latency summaries -----------------------------------------------------
+
+
+@task_fn("network-latency-summary")
+def network_latency_summary_op(
+    *,
+    arity: int,
+    scheme: str,
+    scale_factor: float,
+    background: float,
+    n_per_flow: int,
+    seed: int,
+    level: int = 0,
+    best_effort: bool = True,
+) -> dict:
+    """Consolidate and summarize query network tails (Fig. 11 /
+    network-ablation unit of work)."""
+    workload = workload_for(arity)
+    consolidation = _cached_consolidation(
+        arity=arity, scheme=scheme, level=level, scale_factor=scale_factor,
+        best_effort=best_effort, background=background, traffic_seed=seed,
+    )
+    traffic = workload.traffic(background, seed_or_rng=seed)
+    nm = NetworkModel(workload.topology, traffic, consolidation.routing)
+    summary = nm.query_latency_summary(n_per_flow=n_per_flow, seed_or_rng=seed)
+    return {
+        "scale_factor": consolidation.scale_factor,
+        "switches_on": consolidation.n_switches_on,
+        "network_w": consolidation.objective_watts,
+        "p95_s": summary.p95,
+        "p99_s": summary.p99,
+        "within_net_budget": summary.p95 <= workload.network_budget_s,
+    }
+
+
+# -- diurnal profiles --------------------------------------------------------------
+
+
+@task_fn("diurnal-profile")
+def diurnal_profile_op(
+    *,
+    arity: int,
+    scheme: str,
+    level: int,
+    bg_bucket: float,
+    util_grid: tuple,
+    params: JointSimParams,
+    traffic_seed: int,
+) -> dict:
+    """Build one (scheme, aggregation level, background bucket) power
+    profile for the Fig. 15 diurnal replay.
+
+    Returns ``{"entry": (traffic, consolidation) | None, "profile":
+    PowerProfile | None}`` — ``None`` marks an infeasible level, which
+    the diurnal runner skips exactly as in the serial path.
+    """
+    from ..core.eprons import DiurnalRunner
+
+    workload = workload_for(arity)
+    runner = DiurnalRunner(
+        workload,
+        bg_buckets=(bg_bucket,),
+        util_grid=util_grid,
+        params=params,
+        traffic_seed=traffic_seed,
+    )
+    entry = runner.consolidation_entry(level, bg_bucket)
+    profile = runner.build_profile(scheme, level, bg_bucket)
+    return {"entry": entry, "profile": profile}

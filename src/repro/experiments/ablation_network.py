@@ -10,15 +10,14 @@ switches to keep the tails inside it.
 
 from __future__ import annotations
 
-from ..consolidation.elastictree import ElasticTreeConsolidator
-from ..consolidation.heuristic import GreedyConsolidator
-from ..netsim.network import NetworkModel
-from ..topology.fattree import FatTree
+from ..exec import SweepTask, run_sweep
 from ..units import to_ms
-from ..workloads.search import SearchWorkload
 from .runner import ExperimentResult, register
 
 __all__ = ["run"]
+
+#: The search workload's network budget (ms) — titles/notes only.
+_NET_BUDGET_MS = 5.0
 
 
 def run(
@@ -27,8 +26,6 @@ def run(
     n_per_flow: int = 2000,
     seed: int = 1,
 ) -> ExperimentResult:
-    ft = FatTree(4)
-    workload = SearchWorkload(ft)
     result = ExperimentResult(
         figure="ablation-network",
         title="Bandwidth-only (ElasticTree-style) vs latency-aware consolidation",
@@ -44,27 +41,40 @@ def run(
         notes=(
             "The bandwidth-only baseline ignores K; latency-aware "
             "consolidation trades a few switches for tails inside the "
-            f"{workload.network_budget_s * 1e3:.0f} ms network budget."
+            f"{_NET_BUDGET_MS:.0f} ms network budget."
         ),
     )
+    tasks = []
     for bg in backgrounds:
-        traffic = workload.traffic(bg, seed_or_rng=seed)
-        schemes = [("bandwidth-only", ElasticTreeConsolidator(ft), 1.0)]
+        schemes = [("bandwidth-only", "elastictree", 1.0)]
         for k in scale_factors:
-            schemes.append((f"latency-aware K={k:g}", GreedyConsolidator(ft), k))
-        for name, consolidator, k in schemes:
-            res = consolidator.consolidate(traffic, k, best_effort_scale=True)
-            nm = NetworkModel(ft, traffic, res.routing)
-            summary = nm.query_latency_summary(n_per_flow=n_per_flow, seed_or_rng=seed)
-            result.add(
-                round(bg * 100.0, 1),
-                name,
-                res.n_switches_on,
-                res.objective_watts,
-                to_ms(summary.p95),
-                to_ms(summary.p99),
-                summary.p95 <= workload.network_budget_s,
+            schemes.append((f"latency-aware K={k:g}", "greedy", k))
+        for name, scheme, k in schemes:
+            tasks.append(
+                SweepTask.make(
+                    "network-latency-summary",
+                    tag=(bg, name),
+                    arity=4,
+                    scheme=scheme,
+                    scale_factor=k,
+                    best_effort=True,
+                    background=bg,
+                    n_per_flow=n_per_flow,
+                    seed=seed,
+                )
             )
+    for outcome in run_sweep(tasks):
+        bg, name = outcome.task.tag
+        point = outcome.unwrap()
+        result.add(
+            round(bg * 100.0, 1),
+            name,
+            point["switches_on"],
+            point["network_w"],
+            to_ms(point["p95_s"]),
+            to_ms(point["p99_s"]),
+            point["within_net_budget"],
+        )
     return result
 
 

@@ -19,33 +19,14 @@ frequency-selection policy.
 
 from __future__ import annotations
 
-from ..policies.eprons_server import EpronsServerGovernor
-from ..policies.oracle import OracleGovernor
-from ..policies.rubik import RubikPlusGovernor
-from ..policies.variants import EpronsNoReorderGovernor
-from ..server.dvfs import XEON_LADDER
-from ..topology.fattree import FatTree
+from ..exec import SweepTask, run_sweep
 from ..units import to_ms
-from ..workloads.search import SearchWorkload
-from .fig12_server_power import _network_sampler, _scaled_cpu_power
+from .fig12_server_power import _scaled_cpu_power
 from .runner import ExperimentResult, register
 
 __all__ = ["run"]
 
 ABLATION_GOVERNORS = ("rubik+", "eprons-noreorder", "eprons-server", "oracle")
-
-
-def _factory(name: str, workload: SearchWorkload):
-    svc = workload.service_model
-    if name == "rubik+":
-        return lambda: RubikPlusGovernor(svc, XEON_LADDER)
-    if name == "eprons-noreorder":
-        return lambda: EpronsNoReorderGovernor(svc, XEON_LADDER)
-    if name == "eprons-server":
-        return lambda: EpronsServerGovernor(svc, XEON_LADDER)
-    if name == "oracle":
-        return lambda: OracleGovernor(svc.frequency_model, XEON_LADDER)
-    raise ValueError(name)
 
 
 def run(
@@ -56,9 +37,6 @@ def run(
     n_cores: int = 2,
     seed: int = 3,
 ) -> ExperimentResult:
-    ft = FatTree(4)
-    workload = SearchWorkload(ft, latency_constraint_s=constraint_s)
-    sampler = _network_sampler(workload, background, seed)
     result = ExperimentResult(
         figure="ablation-server",
         title="EPRONS-Server ingredient ablation (avg-VP, EDF, clairvoyance)",
@@ -69,32 +47,33 @@ def run(
             "based scheme could still save."
         ),
     )
-    for gov in ABLATION_GOVERNORS:
-        for u in utilizations:
-            from ..sim.runner import ServerSimConfig, run_server_simulation
-
-            config = ServerSimConfig(
-                utilization=u,
-                latency_constraint_s=workload.latency_constraint_s,
-                network_budget_s=workload.network_budget_s,
-                n_cores=n_cores,
-                duration_s=duration_s,
-                warmup_s=min(duration_s / 3.0, 10.0),
-                seed=seed,
-            )
-            r = run_server_simulation(
-                workload.service_model,
-                _factory(gov, workload),
-                config,
-                network_latency_sampler=sampler,
-            )
-            result.add(
-                gov,
-                round(u * 100.0, 1),
-                _scaled_cpu_power(r, n_cores),
-                to_ms(r.total_latency.p95),
-                r.violation_rate * 100.0,
-            )
+    tasks = [
+        SweepTask.make(
+            "server-sim",
+            tag=(gov, u),
+            arity=4,
+            constraint_ms=constraint_s * 1e3,
+            governor=gov,
+            utilization=u,
+            background=background,
+            duration_s=duration_s,
+            warmup_s=min(duration_s / 3.0, 10.0),
+            n_cores=n_cores,
+            seed=seed,
+        )
+        for gov in ABLATION_GOVERNORS
+        for u in utilizations
+    ]
+    for outcome in run_sweep(tasks):
+        gov, u = outcome.task.tag
+        r = outcome.unwrap()
+        result.add(
+            gov,
+            round(u * 100.0, 1),
+            _scaled_cpu_power(r, n_cores),
+            to_ms(r.total_latency.p95),
+            r.violation_rate * 100.0,
+        )
     return result
 
 

@@ -18,20 +18,22 @@ the hybrid dominates both.
 
 from __future__ import annotations
 
-from ..policies.eprons_server import EpronsServerGovernor
-from ..policies.maxfreq import MaxFrequencyGovernor
-from ..power.sleep import POWERNAP_SLEEP
-from ..server.dvfs import XEON_LADDER
-from ..sim.runner import ServerSimConfig, run_server_simulation
-from ..topology.fattree import FatTree
+from ..exec import SweepTask, run_sweep
 from ..units import to_ms
-from ..workloads.search import SearchWorkload
-from .fig12_server_power import _network_sampler, _scaled_cpu_power
+from .fig12_server_power import _scaled_cpu_power
 from .runner import ExperimentResult, register
 
 __all__ = ["run"]
 
 SCHEMES = ("no-pm", "powernap", "eprons-server", "eprons+sleep")
+
+#: scheme -> (governor name, sleep-model name) for the server-sim op.
+_CASES = {
+    "no-pm": ("no-pm", "none"),
+    "powernap": ("no-pm", "powernap"),
+    "eprons-server": ("eprons-server", "none"),
+    "eprons+sleep": ("eprons-server", "powernap"),
+}
 
 
 def run(
@@ -42,10 +44,6 @@ def run(
     n_cores: int = 2,
     seed: int = 3,
 ) -> ExperimentResult:
-    ft = FatTree(4)
-    workload = SearchWorkload(ft, latency_constraint_s=constraint_s)
-    sampler = _network_sampler(workload, background, seed)
-    svc = workload.service_model
     result = ExperimentResult(
         figure="ablation-sleep",
         title="Sleep states (PowerNap-style) vs DVFS (EPRONS-Server) vs hybrid",
@@ -56,33 +54,34 @@ def run(
             "both."
         ),
     )
-    cases = {
-        "no-pm": (lambda: MaxFrequencyGovernor(XEON_LADDER), None),
-        "powernap": (lambda: MaxFrequencyGovernor(XEON_LADDER), POWERNAP_SLEEP),
-        "eprons-server": (lambda: EpronsServerGovernor(svc, XEON_LADDER), None),
-        "eprons+sleep": (lambda: EpronsServerGovernor(svc, XEON_LADDER), POWERNAP_SLEEP),
-    }
-    for name, (factory, sleep) in cases.items():
-        for u in utilizations:
-            config = ServerSimConfig(
-                utilization=u,
-                latency_constraint_s=workload.latency_constraint_s,
-                network_budget_s=workload.network_budget_s,
-                n_cores=n_cores,
-                duration_s=duration_s,
-                warmup_s=min(duration_s / 3.0, 10.0),
-                seed=seed,
-            )
-            r = run_server_simulation(
-                svc, factory, config, network_latency_sampler=sampler, sleep_model=sleep
-            )
-            result.add(
-                name,
-                round(u * 100.0, 1),
-                _scaled_cpu_power(r, n_cores),
-                to_ms(r.total_latency.p95),
-                r.meets_sla,
-            )
+    tasks = [
+        SweepTask.make(
+            "server-sim",
+            tag=(name, u),
+            arity=4,
+            constraint_ms=constraint_s * 1e3,
+            governor=_CASES[name][0],
+            utilization=u,
+            background=background,
+            duration_s=duration_s,
+            warmup_s=min(duration_s / 3.0, 10.0),
+            n_cores=n_cores,
+            seed=seed,
+            sleep=_CASES[name][1],
+        )
+        for name in _CASES
+        for u in utilizations
+    ]
+    for outcome in run_sweep(tasks):
+        name, u = outcome.task.tag
+        r = outcome.unwrap()
+        result.add(
+            name,
+            round(u * 100.0, 1),
+            _scaled_cpu_power(r, n_cores),
+            to_ms(r.total_latency.p95),
+            r.meets_sla,
+        )
     return result
 
 

@@ -6,19 +6,18 @@ optimization on k=4 and k=6 (54 servers, 45 switches) and checks that
 the EPRONS decisions and savings generalize: the minimal subnet still
 wins at light background, and the relative total-power saving vs no
 power management stays in the same band as the fabric grows.
+
+Every (arity, aggregation level) evaluation is an independent
+``joint-eval`` sweep task; the per-arity best-level selection happens
+on the assembled outcomes.
 """
 
 from __future__ import annotations
 
-from ..consolidation.heuristic import route_on_subnet
-from ..core.joint import JointSimParams, evaluate_operating_point
-from ..errors import InfeasibleError
-from ..policies.eprons_server import EpronsServerGovernor
-from ..policies.maxfreq import MaxFrequencyGovernor
-from ..server.dvfs import XEON_LADDER
-from ..topology.aggregation import AGGREGATION_LEVELS, aggregation_policy
+from ..core.joint import JointSimParams
+from ..exec import SweepTask, run_sweep
+from ..topology.aggregation import AGGREGATION_LEVELS
 from ..topology.fattree import FatTree
-from ..workloads.search import SearchWorkload
 from .runner import ExperimentResult, register
 
 __all__ = ["run"]
@@ -50,9 +49,9 @@ def run(
             "fabric grows."
         ),
     )
-    for k in arities:
-        ft = FatTree(k)
-        workload = SearchWorkload(ft)
+    trees = {k: FatTree(k) for k in arities}
+    tasks = []
+    for k, ft in trees.items():
         params = JointSimParams(
             n_servers=ft.n_hosts,
             sim_cores=1,
@@ -60,41 +59,61 @@ def run(
             warmup_s=min(2.0, duration_s / 4),
             seed=seed,
         )
-        traffic = workload.traffic(background, seed_or_rng=seed)
-
-        best = None
         for level in AGGREGATION_LEVELS:
-            subnet = aggregation_policy(ft, level)
-            try:
-                consolidation = route_on_subnet(subnet, traffic)
-            except InfeasibleError:
-                continue
-            ev = evaluate_operating_point(
-                workload, traffic, consolidation, utilization,
-                lambda: EpronsServerGovernor(workload.service_model, XEON_LADDER),
-                params=params,
+            tasks.append(
+                SweepTask.make(
+                    "joint-eval",
+                    tag=(k, "eprons", level),
+                    arity=k,
+                    constraint_ms=30.0,
+                    background=background,
+                    level=level,
+                    utilization=utilization,
+                    governor="eprons-server",
+                    params=params,
+                    traffic_seed=seed,
+                )
             )
-            if ev.sla_met and (best is None or ev.total_watts < best[1].total_watts):
-                best = (level, ev)
-        assert best is not None, f"no feasible level at k={k}"
-        level, ev = best
-
-        nopm = evaluate_operating_point(
-            workload,
-            traffic,
-            route_on_subnet(aggregation_policy(ft, 0), traffic),
-            utilization,
-            lambda: MaxFrequencyGovernor(XEON_LADDER),
-            params=params,
+        tasks.append(
+            SweepTask.make(
+                "joint-eval",
+                tag=(k, "no-pm", 0),
+                arity=k,
+                constraint_ms=30.0,
+                background=background,
+                level=0,
+                utilization=utilization,
+                governor="no-pm",
+                params=params,
+                traffic_seed=seed,
+            )
         )
+
+    # Reassemble per arity: cheapest SLA-meeting level vs the no-PM baseline.
+    best: dict[int, tuple[int, object]] = {}
+    nopm: dict[int, object] = {}
+    for outcome in run_sweep(tasks):
+        if outcome.infeasible:
+            continue
+        k, scheme, level = outcome.task.tag
+        ev = outcome.unwrap()
+        if scheme == "no-pm":
+            nopm[k] = ev
+        elif ev.sla_met and (k not in best or ev.total_watts < best[k][1].total_watts):
+            best[k] = (level, ev)
+
+    for k, ft in trees.items():
+        assert k in best, f"no feasible level at k={k}"
+        level, ev = best[k]
+        baseline = nopm[k]
         result.add(
             k,
             ft.n_hosts,
             ft.n_switches,
             f"aggregation-{level}",
             ev.total_watts,
-            nopm.total_watts,
-            (1.0 - ev.total_watts / nopm.total_watts) * 100.0,
+            baseline.total_watts,
+            (1.0 - ev.total_watts / baseline.total_watts) * 100.0,
             ev.sla_met,
         )
     return result

@@ -4,16 +4,15 @@ active switches.
 (a) K vs 95th-percentile query network latency per background level;
 (b) K vs number of active switches; (c) the implied
 switches-vs-latency frontier.  One latency-aware consolidation run per
-(background, K) cell produces all three series.
+(background, K) cell produces all three series; the cells are
+independent, so they fan out over the sweep executor and their
+consolidation solves land in the shared cache.
 """
 
 from __future__ import annotations
 
-from ..consolidation.heuristic import GreedyConsolidator
-from ..netsim.network import NetworkModel
-from ..topology.fattree import FatTree
+from ..exec import SweepTask, run_sweep
 from ..units import to_ms
-from ..workloads.search import SearchWorkload
 from .runner import ExperimentResult, register
 
 __all__ = ["run"]
@@ -28,9 +27,6 @@ def run(
     n_per_flow: int = 2000,
     seed: int = 1,
 ) -> ExperimentResult:
-    ft = FatTree(4)
-    workload = SearchWorkload(ft)
-    consolidator = GreedyConsolidator(ft)
     result = ExperimentResult(
         figure="fig11",
         title="Scale factor K vs network tail latency and active switches",
@@ -48,20 +44,32 @@ def run(
             "switches on)."
         ),
     )
-    for bg in backgrounds:
-        traffic = workload.traffic(bg, seed_or_rng=seed)
-        for k in scale_factors:
-            res = consolidator.consolidate(traffic, k, best_effort_scale=True)
-            nm = NetworkModel(ft, traffic, res.routing)
-            summary = nm.query_latency_summary(n_per_flow=n_per_flow, seed_or_rng=seed)
-            result.add(
-                round(bg * 100.0, 1),
-                k,
-                res.scale_factor,
-                res.n_switches_on,
-                to_ms(summary.p95),
-                to_ms(summary.p99),
-            )
+    tasks = [
+        SweepTask.make(
+            "network-latency-summary",
+            tag=(bg, k),
+            arity=4,
+            scheme="greedy",
+            scale_factor=k,
+            best_effort=True,
+            background=bg,
+            n_per_flow=n_per_flow,
+            seed=seed,
+        )
+        for bg in backgrounds
+        for k in scale_factors
+    ]
+    for outcome in run_sweep(tasks):
+        bg, k = outcome.task.tag
+        point = outcome.unwrap()
+        result.add(
+            round(bg * 100.0, 1),
+            k,
+            point["scale_factor"],
+            point["switches_on"],
+            to_ms(point["p95_s"]),
+            to_ms(point["p99_s"]),
+        )
     return result
 
 

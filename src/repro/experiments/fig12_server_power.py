@@ -7,24 +7,15 @@ Rubik, Rubik+, TimeTrader, no power management).
 
 The network is not power-managed here (the paper fixes 20 % background
 on the full topology); per-request network latencies come from the
-routed network model.
+routed network model, rebuilt per point inside the ``server-sim`` op so
+every (governor, load, constraint) cell is an independent, cacheable
+unit of sweep work.
 """
 
 from __future__ import annotations
 
-from ..consolidation.heuristic import route_on_subnet
-from ..control.latency_monitor import LatencyMonitor
-from ..netsim.network import NetworkModel
-from ..policies.eprons_server import EpronsServerGovernor
-from ..policies.maxfreq import MaxFrequencyGovernor
-from ..policies.rubik import RubikGovernor, RubikPlusGovernor
-from ..policies.timetrader import TimeTraderGovernor
-from ..server.dvfs import XEON_LADDER
-from ..sim.runner import ServerSimConfig, run_server_simulation
-from ..topology.aggregation import aggregation_policy
-from ..topology.fattree import FatTree
+from ..exec import SweepTask, run_sweep
 from ..units import to_ms
-from ..workloads.search import SearchWorkload
 from .runner import ExperimentResult, register
 
 __all__ = ["run_utilization_sweep", "run_constraint_sweep", "run_heatmap", "GOVERNORS"]
@@ -35,50 +26,25 @@ DEFAULT_UTILIZATIONS = (0.1, 0.2, 0.3, 0.4, 0.5)
 DEFAULT_CONSTRAINTS_MS = (18.0, 19.0, 20.0, 22.0, 25.0, 28.0, 31.0, 34.0, 40.0)
 
 
-def _governor_factory(name: str, workload: SearchWorkload, constraint_s: float):
-    svc = workload.service_model
-    if name == "no-pm":
-        return lambda: MaxFrequencyGovernor(XEON_LADDER)
-    if name == "timetrader":
-        return lambda: TimeTraderGovernor(XEON_LADDER, constraint_s)
-    if name == "rubik":
-        return lambda: RubikGovernor(svc, XEON_LADDER)
-    if name == "rubik+":
-        return lambda: RubikPlusGovernor(svc, XEON_LADDER)
-    if name == "eprons-server":
-        return lambda: EpronsServerGovernor(svc, XEON_LADDER)
-    raise ValueError(f"unknown governor {name!r}")
-
-
-def _network_sampler(workload: SearchWorkload, background: float, seed: int):
-    """Pooled per-request network-latency sampler at the experiment's
-    fixed 20 % background, full topology (no network PM)."""
-    traffic = workload.traffic(background, seed_or_rng=seed)
-    subnet = aggregation_policy(workload.topology, 0)
-    res = route_on_subnet(subnet, traffic)
-    monitor = LatencyMonitor(NetworkModel(workload.topology, traffic, res.routing))
-    return monitor.pooled_sampler(seed_or_rng=seed)
-
-
-def _sim(workload, governor_name, utilization, duration_s, n_cores, seed, sampler):
-    config = ServerSimConfig(
-        utilization=utilization,
-        latency_constraint_s=workload.latency_constraint_s,
-        network_budget_s=workload.network_budget_s,
-        n_cores=n_cores,
-        duration_s=duration_s,
-        warmup_s=min(duration_s / 3.0, 20.0),
-        seed=seed,
-    )
-    factory = _governor_factory(governor_name, workload, workload.latency_constraint_s)
-    return run_server_simulation(
-        workload.service_model, factory, config, network_latency_sampler=sampler
-    )
-
-
 def _scaled_cpu_power(result, n_cores_simulated: int, n_cores_server: int = 12) -> float:
     """Scale simulated per-core power to the paper's 12-core CPU."""
     return result.cpu_power_watts / n_cores_simulated * n_cores_server
+
+
+def _sim_task(tag, governor, utilization, constraint_s, background, duration_s, n_cores, seed):
+    return SweepTask.make(
+        "server-sim",
+        tag=tag,
+        arity=4,
+        constraint_ms=constraint_s * 1e3,
+        governor=governor,
+        utilization=utilization,
+        background=background,
+        duration_s=duration_s,
+        warmup_s=min(duration_s / 3.0, 20.0),
+        n_cores=n_cores,
+        seed=seed,
+    )
 
 
 def run_utilization_sweep(
@@ -91,9 +57,6 @@ def run_utilization_sweep(
     seed: int = 3,
 ) -> ExperimentResult:
     """Fig. 12(a): CPU power vs utilization per governor."""
-    ft = FatTree(4)
-    workload = SearchWorkload(ft, latency_constraint_s=constraint_s)
-    sampler = _network_sampler(workload, background, seed)
     result = ExperimentResult(
         figure="fig12a",
         title="CPU power vs server utilization (30 ms constraint)",
@@ -103,16 +66,21 @@ def run_utilization_sweep(
             "(except very low load) < no-PM."
         ),
     )
-    for gov in governors:
-        for u in utilizations:
-            r = _sim(workload, gov, u, duration_s, n_cores, seed, sampler)
-            result.add(
-                gov,
-                round(u * 100.0, 1),
-                _scaled_cpu_power(r, n_cores),
-                to_ms(r.total_latency.p95),
-                r.meets_sla,
-            )
+    tasks = [
+        _sim_task((gov, u), gov, u, constraint_s, background, duration_s, n_cores, seed)
+        for gov in governors
+        for u in utilizations
+    ]
+    for outcome in run_sweep(tasks):
+        gov, u = outcome.task.tag
+        r = outcome.unwrap()
+        result.add(
+            gov,
+            round(u * 100.0, 1),
+            _scaled_cpu_power(r, n_cores),
+            to_ms(r.total_latency.p95),
+            r.meets_sla,
+        )
     return result
 
 
@@ -126,7 +94,6 @@ def run_constraint_sweep(
     seed: int = 3,
 ) -> ExperimentResult:
     """Fig. 12(b): CPU power vs tail-latency constraint at 30% load."""
-    ft = FatTree(4)
     result = ExperimentResult(
         figure="fig12b",
         title="CPU power vs request tail-latency constraint (30% utilization)",
@@ -136,18 +103,23 @@ def run_constraint_sweep(
             "EPRONS-Server consistently uses the least power."
         ),
     )
-    for L_ms in constraints_ms:
-        workload = SearchWorkload(ft, latency_constraint_s=L_ms * 1e-3)
-        sampler = _network_sampler(workload, background, seed)
-        for gov in governors:
-            r = _sim(workload, gov, utilization, duration_s, n_cores, seed, sampler)
-            result.add(
-                gov,
-                L_ms,
-                _scaled_cpu_power(r, n_cores),
-                to_ms(r.total_latency.p95),
-                r.meets_sla,
-            )
+    tasks = [
+        _sim_task(
+            (gov, L_ms), gov, utilization, L_ms * 1e-3, background, duration_s, n_cores, seed
+        )
+        for L_ms in constraints_ms
+        for gov in governors
+    ]
+    for outcome in run_sweep(tasks):
+        gov, L_ms = outcome.task.tag
+        r = outcome.unwrap()
+        result.add(
+            gov,
+            L_ms,
+            _scaled_cpu_power(r, n_cores),
+            to_ms(r.total_latency.p95),
+            r.meets_sla,
+        )
     return result
 
 
@@ -160,24 +132,28 @@ def run_heatmap(
     seed: int = 3,
 ) -> ExperimentResult:
     """Fig. 12(c): EPRONS-Server power across (utilization, constraint)."""
-    ft = FatTree(4)
     result = ExperimentResult(
         figure="fig12c",
         title="EPRONS-Server CPU power across utilization and constraint",
         columns=("utilization_pct", "constraint_ms", "cpu_w_12core", "sla_met"),
         notes="Paper: power falls steeply as the constraint loosens at small values.",
     )
-    for L_ms in constraints_ms:
-        workload = SearchWorkload(ft, latency_constraint_s=L_ms * 1e-3)
-        sampler = _network_sampler(workload, background, seed)
-        for u in utilizations:
-            r = _sim(workload, "eprons-server", u, duration_s, n_cores, seed, sampler)
-            result.add(
-                round(u * 100.0, 1),
-                L_ms,
-                _scaled_cpu_power(r, n_cores),
-                r.meets_sla,
-            )
+    tasks = [
+        _sim_task(
+            (u, L_ms), "eprons-server", u, L_ms * 1e-3, background, duration_s, n_cores, seed
+        )
+        for L_ms in constraints_ms
+        for u in utilizations
+    ]
+    for outcome in run_sweep(tasks):
+        u, L_ms = outcome.task.tag
+        r = outcome.unwrap()
+        result.add(
+            round(u * 100.0, 1),
+            L_ms,
+            _scaled_cpu_power(r, n_cores),
+            r.meets_sla,
+        )
     return result
 
 

@@ -11,20 +11,19 @@ The paper's signature effects:
 * in a band of constraints, *turning a switch on* (agg 3 → agg 2)
   lowers **total** power because the extra network slack lets
   EPRONS-Server slow the fleet down by more than the switch draws.
+
+Every (background, constraint, policy) cell is one ``joint-eval``
+sweep task; the per-(background, level) consolidation solve inside it
+is shared through the persistent cache, so the eight constraint points
+of a background level route the network exactly once.
 """
 
 from __future__ import annotations
 
-from ..consolidation.heuristic import route_on_subnet
-from ..core.joint import JointSimParams, evaluate_operating_point
-from ..errors import InfeasibleError
-from ..policies.eprons_server import EpronsServerGovernor
-from ..policies.maxfreq import MaxFrequencyGovernor
-from ..server.dvfs import XEON_LADDER
-from ..topology.aggregation import AGGREGATION_LEVELS, aggregation_policy
-from ..topology.fattree import FatTree
+from ..core.joint import JointSimParams
+from ..exec import SweepTask, run_sweep
+from ..topology.aggregation import AGGREGATION_LEVELS
 from ..units import to_ms
-from ..workloads.search import SearchWorkload
 from .runner import ExperimentResult, register
 
 __all__ = ["run"]
@@ -42,7 +41,6 @@ def run(
     include_no_pm: bool = True,
     seed: int = 1,
 ) -> ExperimentResult:
-    ft = FatTree(4)
     params = params or JointSimParams(sim_cores=2, duration_s=15.0, warmup_s=3.0)
     result = ExperimentResult(
         figure="fig13",
@@ -64,56 +62,46 @@ def run(
             "deep aggregations become infeasible."
         ),
     )
+
+    def _task(bg, L_ms, scheme_name, level, governor):
+        return SweepTask.make(
+            "joint-eval",
+            tag=(bg, L_ms, scheme_name),
+            arity=4,
+            constraint_ms=L_ms,
+            background=bg,
+            level=level,
+            utilization=utilization,
+            governor=governor,
+            params=params,
+            traffic_seed=seed,
+        )
+
+    tasks = []
     for bg in backgrounds:
-        consolidations = {}
-        base_workload = SearchWorkload(ft)
-        traffic = base_workload.traffic(bg, seed_or_rng=seed)
-        for level in levels:
-            subnet = aggregation_policy(ft, level)
-            try:
-                consolidations[level] = route_on_subnet(subnet, traffic)
-            except InfeasibleError:
-                continue
         for L_ms in constraints_ms:
-            workload = SearchWorkload(ft, latency_constraint_s=L_ms * 1e-3)
-            for level, consolidation in consolidations.items():
-                ev = evaluate_operating_point(
-                    workload,
-                    traffic,
-                    consolidation,
-                    utilization,
-                    lambda: EpronsServerGovernor(workload.service_model, XEON_LADDER),
-                    params=params,
-                )
-                result.add(
-                    round(bg * 100.0, 1),
-                    L_ms,
-                    f"aggregation-{level}",
-                    ev.total_watts,
-                    ev.breakdown.network_watts,
-                    ev.breakdown.server_watts,
-                    to_ms(ev.query_p95_s),
-                    ev.sla_met,
-                )
-            if include_no_pm and 0 in consolidations:
-                ev = evaluate_operating_point(
-                    workload,
-                    traffic,
-                    consolidations[0],
-                    utilization,
-                    lambda: MaxFrequencyGovernor(XEON_LADDER),
-                    params=params,
-                )
-                result.add(
-                    round(bg * 100.0, 1),
-                    L_ms,
-                    "no-pm",
-                    ev.total_watts,
-                    ev.breakdown.network_watts,
-                    ev.breakdown.server_watts,
-                    to_ms(ev.query_p95_s),
-                    ev.sla_met,
-                )
+            for level in levels:
+                tasks.append(_task(bg, L_ms, f"aggregation-{level}", level, "eprons-server"))
+            if include_no_pm:
+                tasks.append(_task(bg, L_ms, "no-pm", 0, "no-pm"))
+
+    for outcome in run_sweep(tasks):
+        if outcome.infeasible:
+            # An aggregation level that cannot carry this background —
+            # the paper's "cannot support" cells; no row.
+            continue
+        bg, L_ms, scheme = outcome.task.tag
+        ev = outcome.unwrap()
+        result.add(
+            round(bg * 100.0, 1),
+            L_ms,
+            scheme,
+            ev.total_watts,
+            ev.breakdown.network_watts,
+            ev.breakdown.server_watts,
+            to_ms(ev.query_p95_s),
+            ev.sla_met,
+        )
     return result
 
 

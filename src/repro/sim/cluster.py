@@ -86,14 +86,22 @@ class ClusterSimulator:
         self._arrival_rng, self._net_rng, self._work_rng, dispatch_rng = spawn(rng, 4)
 
         self.loop = EventLoop()
+        # Probe the first instance for ``network_aware`` and hand it to
+        # the first ISN's core 0 instead of discarding it, so stateful
+        # governor factories are not silently advanced by one call.
         probe = governor_factory()
         self._network_aware = probe.network_aware
+        first_governor = [probe]
+
+        def _governor_factory():
+            return first_governor.pop() if first_governor else governor_factory()
+
         dispatch_rngs = spawn(dispatch_rng, workload.n_isns)
         self.isns = {
             isn: MultiCoreServer(
                 self.loop,
                 workload.service_model,
-                governor_factory,
+                _governor_factory,
                 n_cores=n_cores_per_isn,
                 core_power_model=core_power_model,
                 seed_or_rng=dispatch_rngs[i],

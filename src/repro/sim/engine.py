@@ -3,42 +3,42 @@
 A binary-heap event loop with cancellable handles — all the simulator
 needs.  Events at equal timestamps fire in scheduling order (a stable
 sequence number breaks ties), which keeps runs deterministic.
+
+The heap holds plain ``(time, seq, callback)`` tuples so ordering is
+resolved by C-level tuple comparison instead of generated dataclass
+``__lt__`` calls — the engine's hottest path.  Cancellation is a
+side-table of sequence numbers (events are cheap to schedule, rare to
+cancel), and a live-event set keeps :attr:`EventLoop.n_pending` O(1).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 
 from ..errors import SimulationError
 
 __all__ = ["EventHandle", "EventLoop"]
 
 
-@dataclass(order=True)
-class _Entry:
-    time: float
-    seq: int
-    callback: object = field(compare=False)
-    cancelled: bool = field(compare=False, default=False)
-
-
 class EventHandle:
     """Opaque handle returned by :meth:`EventLoop.schedule`."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_time", "_seq", "_loop", "_cancelled")
 
-    def __init__(self, entry: _Entry):
-        self._entry = entry
+    def __init__(self, time: float, seq: int, loop: "EventLoop"):
+        self._time = time
+        self._seq = seq
+        self._loop = loop
+        self._cancelled = False
 
     @property
     def time(self) -> float:
-        return self._entry.time
+        return self._time
 
     @property
     def cancelled(self) -> bool:
-        return self._entry.cancelled
+        return self._cancelled
 
 
 class EventLoop:
@@ -46,9 +46,13 @@ class EventLoop:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: list[_Entry] = []
+        self._heap: list[tuple[float, int, object]] = []
         self._seq = itertools.count()
         self._n_processed = 0
+        # Seqs scheduled but not yet fired/cancelled; seqs cancelled but
+        # not yet popped off the heap.
+        self._pending: set[int] = set()
+        self._skip: set[int] = set()
 
     @property
     def now(self) -> float:
@@ -63,15 +67,17 @@ class EventLoop:
     @property
     def n_pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._pending)
 
     def schedule(self, time: float, callback) -> EventHandle:
         """Schedule ``callback()`` at absolute ``time`` (>= now)."""
         if time < self._now - 1e-12:
             raise SimulationError(f"event scheduled in the past: {time} < {self._now}")
-        entry = _Entry(max(time, self._now), next(self._seq), callback)
-        heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        time = max(time, self._now)
+        seq = next(self._seq)
+        heapq.heappush(self._heap, (time, seq, callback))
+        self._pending.add(seq)
+        return EventHandle(time, seq, self)
 
     def schedule_after(self, delay: float, callback) -> EventHandle:
         """Schedule ``callback()`` after a non-negative ``delay``."""
@@ -82,17 +88,26 @@ class EventLoop:
     @staticmethod
     def cancel(handle: EventHandle) -> None:
         """Cancel a scheduled event (no-op if already fired)."""
-        handle._entry.cancelled = True
+        if handle._cancelled:
+            return
+        handle._cancelled = True
+        loop = handle._loop
+        seq = handle._seq
+        if seq in loop._pending:
+            loop._pending.discard(seq)
+            loop._skip.add(seq)
 
     def step(self) -> bool:
         """Execute the next live event; returns False when none remain."""
         while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.cancelled:
+            time, seq, callback = heapq.heappop(self._heap)
+            if seq in self._skip:
+                self._skip.discard(seq)
                 continue
-            self._now = entry.time
+            self._pending.discard(seq)
+            self._now = time
             self._n_processed += 1
-            entry.callback()
+            callback()
             return True
         return False
 
@@ -104,16 +119,20 @@ class EventLoop:
         """
         if end_time < self._now:
             raise SimulationError(f"run_until moving backwards: {end_time} < {self._now}")
-        while self._heap:
-            entry = self._heap[0]
-            if entry.time > end_time:
+        heap = self._heap
+        skip = self._skip
+        pending = self._pending
+        while heap:
+            if heap[0][0] > end_time:
                 break
-            heapq.heappop(self._heap)
-            if entry.cancelled:
+            time, seq, callback = heapq.heappop(heap)
+            if seq in skip:
+                skip.discard(seq)
                 continue
-            self._now = entry.time
+            pending.discard(seq)
+            self._now = time
             self._n_processed += 1
-            entry.callback()
+            callback()
         self._now = end_time
 
     def run_to_completion(self, max_events: int | None = None) -> None:

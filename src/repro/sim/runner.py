@@ -134,11 +134,20 @@ def run_server_simulation(
         network_latency_sampler = constant_latency_sampler(config.network_budget_s / 2.0)
 
     loop = EventLoop()
+    # The first instance is probed for its class configuration
+    # (``network_aware``, ``name``) and then handed to core 0 — calling
+    # the factory an extra throwaway time would silently advance
+    # stateful factories.
     probe_governor = governor_factory()
+    first_governor = [probe_governor]
+
+    def _governor_factory():
+        return first_governor.pop() if first_governor else governor_factory()
+
     server = MultiCoreServer(
         loop,
         service_model,
-        governor_factory,
+        _governor_factory,
         n_cores=config.n_cores,
         static_watts=config.static_watts,
         seed_or_rng=dispatch_rng,
@@ -209,16 +218,29 @@ def run_server_simulation(
     server.reset_statistics()
     loop.run_until(config.duration_s)
 
-    completed = [
-        r for r in server.completed_requests() if r.arrival_time >= config.warmup_s
-    ]
-    if not completed:
+    # One pass over completed requests into a preallocated array, then
+    # vectorized latency/violation math — no per-request property calls
+    # or repeated list comprehensions.
+    all_completed = server.completed_requests()
+    fields = np.empty((len(all_completed), 4))
+    n = 0
+    warmup = config.warmup_s
+    for r in all_completed:
+        if r.arrival_time >= warmup:
+            row = fields[n]
+            row[0] = r.arrival_time
+            row[1] = r.finish_time
+            row[2] = r.network_latency + r.reply_latency
+            row[3] = r.deadline
+            n += 1
+    if n == 0:
         raise ConfigurationError(
             "no requests completed after warmup; increase duration or load"
         )
-    totals = np.array([r.total_latency for r in completed])
-    sojourns = np.array([r.sojourn for r in completed])
-    violations = np.array([r.violated for r in completed])
+    fields = fields[:n]
+    sojourns = fields[:, 1] - fields[:, 0]
+    totals = sojourns + fields[:, 2]
+    violations = fields[:, 1] > fields[:, 3] + 1e-12
     busy = np.array(server.busy_fractions())
     freqs = np.array([c.mean_busy_frequency for c in server.cores])
     busy_total = busy.sum()
@@ -227,7 +249,7 @@ def run_server_simulation(
     return ServerSimResult(
         governor=governor_name or probe_governor.name,
         config=config,
-        n_completed=len(completed),
+        n_completed=n,
         cpu_power_watts=server.cpu_power(),
         server_power_watts=server.total_power(),
         total_latency=LatencySummary.from_samples(totals),

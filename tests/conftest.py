@@ -10,6 +10,12 @@ from repro.server import XEON_LADDER, default_service_model
 from repro.topology import FatTree
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep sweep-cache writes out of the repo during tests."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
+
+
 @pytest.fixture(scope="session")
 def ft4() -> FatTree:
     """The paper's 4-ary fat-tree (16 hosts, 20 switches, 48 links)."""

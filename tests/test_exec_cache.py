@@ -1,0 +1,83 @@
+"""Persistent result cache: roundtrips, sentinels, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InfeasibleError
+from repro.exec import ResultCache, cached_call, code_salt, task_fn
+from repro.exec.cache import STATUS_INFEASIBLE, STATUS_OK
+
+CALLS = {"square": 0, "reject": 0}
+
+
+@task_fn("test/square")
+def _square(*, x):
+    CALLS["square"] += 1
+    return x * x
+
+
+@task_fn("test/reject")
+def _reject(*, x):
+    CALLS["reject"] += 1
+    raise InfeasibleError(f"x={x} rejected")
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.lookup("op", {"x": 1}) == (False, "", None)
+        cache.store("op", {"x": 1}, STATUS_OK, 42)
+        assert cache.lookup("op", {"x": 1}) == (True, STATUS_OK, 42)
+
+    def test_different_params_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("op", {"x": 1}, STATUS_OK, 42)
+        hit, _, _ = cache.lookup("op", {"x": 2})
+        assert not hit
+
+    def test_disabled_cache_never_hits(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=False)
+        cache.store("op", {"x": 1}, STATUS_OK, 42)
+        assert cache.lookup("op", {"x": 1}) == (False, "", None)
+        assert not any(tmp_path.iterdir())
+
+    def test_corrupt_entry_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("op", {"x": 1}, STATUS_OK, 42)
+        path = cache._path("op", {"x": 1})
+        path.write_bytes(b"not a pickle")
+        hit, _, _ = cache.lookup("op", {"x": 1})
+        assert not hit
+        assert not path.exists()
+
+    def test_key_includes_code_salt(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        key_now = cache.key("op", {"x": 1})
+        monkeypatch.setattr("repro.exec.cache.code_salt", lambda: "other-version")
+        assert cache.key("op", {"x": 1}) != key_now
+
+    def test_code_salt_is_stable_hex(self):
+        salt = code_salt()
+        assert salt == code_salt()
+        int(salt, 16)
+
+
+class TestCachedCall:
+    def test_computes_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        before = CALLS["square"]
+        assert cached_call("test/square", cache=cache, x=5) == 25
+        assert cached_call("test/square", cache=cache, x=5) == 25
+        assert CALLS["square"] == before + 1
+
+    def test_infeasible_cached_as_sentinel(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        before = CALLS["reject"]
+        with pytest.raises(InfeasibleError):
+            cached_call("test/reject", cache=cache, x=1)
+        with pytest.raises(InfeasibleError, match="x=1 rejected"):
+            cached_call("test/reject", cache=cache, x=1)
+        assert CALLS["reject"] == before + 1
+        hit, status, _ = cache.lookup("test/reject", {"x": 1})
+        assert hit and status == STATUS_INFEASIBLE

@@ -1,0 +1,51 @@
+"""Sweep output must not depend on parallelism or cache temperature.
+
+The figure drivers promise bit-identical rows at any ``--jobs`` level
+and across cold/warm cache runs.  These run reduced-scale versions of
+the two heaviest figures under different execution contexts and compare
+rows exactly (no tolerance: the same spec must replay the same seeds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import JointSimParams
+from repro.exec import ExecContext, use_context
+from repro.experiments import fig12_server_power, fig13_joint_power
+
+TINY = JointSimParams(sim_cores=1, duration_s=3.0, warmup_s=0.5)
+
+
+def _fig12_rows():
+    r = fig12_server_power.run_utilization_sweep(
+        utilizations=(0.2, 0.4),
+        governors=("no-pm", "eprons-server"),
+        duration_s=4.0,
+        n_cores=1,
+    )
+    return r.rows
+
+
+def _fig13_rows():
+    r = fig13_joint_power.run(
+        backgrounds=(0.2,), constraints_ms=(30.0,), levels=(0, 3), params=TINY
+    )
+    return r.rows
+
+
+@pytest.mark.parametrize("rows_fn", [_fig12_rows, _fig13_rows], ids=["fig12", "fig13"])
+class TestJobsInvariance:
+    def test_jobs4_bit_identical_to_serial(self, tmp_path, rows_fn):
+        with use_context(ExecContext(jobs=1, cache=False)):
+            serial = rows_fn()
+        with use_context(ExecContext(jobs=4, cache=False)):
+            fanned = rows_fn()
+        assert fanned == serial
+
+    def test_warm_cache_bit_identical_to_cold(self, tmp_path, rows_fn):
+        ctx = ExecContext(jobs=1, cache=True, cache_dir=str(tmp_path / "cache"))
+        with use_context(ctx):
+            cold = rows_fn()
+            warm = rows_fn()
+        assert warm == cold

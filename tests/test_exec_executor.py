@@ -1,0 +1,127 @@
+"""Sweep executor: ordering, failure capture, cache integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InfeasibleError
+from repro.exec import (
+    ExecContext,
+    SweepExecutionError,
+    SweepTask,
+    run_sweep,
+    sweep_stats,
+    task_fn,
+    use_context,
+)
+
+
+@task_fn("test/double")
+def _double(*, x):
+    return 2 * x
+
+
+@task_fn("test/flaky")
+def _flaky(*, x):
+    if x < 0:
+        raise InfeasibleError("negative load")
+    if x > 100:
+        raise ValueError("boom")
+    return x
+
+
+def _ctx(tmp_path, **kw):
+    kw.setdefault("jobs", 1)
+    kw.setdefault("cache_dir", str(tmp_path / "cache"))
+    return ExecContext(**kw)
+
+
+class TestRunSweep:
+    def test_results_in_task_order(self, tmp_path):
+        tasks = [SweepTask.make("test/double", x=i) for i in (5, 1, 9, 3)]
+        outcomes = run_sweep(tasks, ctx=_ctx(tmp_path))
+        assert [o.unwrap() for o in outcomes] == [10, 2, 18, 6]
+        assert [o.task for o in outcomes] == tasks
+
+    def test_infeasible_captured_not_raised(self, tmp_path):
+        outcomes = run_sweep(
+            [SweepTask.make("test/flaky", x=-1)], ctx=_ctx(tmp_path)
+        )
+        (o,) = outcomes
+        assert o.infeasible and not o.ok
+        with pytest.raises(InfeasibleError, match="negative load"):
+            o.unwrap()
+
+    def test_crash_captured_with_traceback(self, tmp_path):
+        good = SweepTask.make("test/flaky", x=1)
+        bad = SweepTask.make("test/flaky", x=101)
+        outcomes = run_sweep([good, bad], ctx=_ctx(tmp_path))
+        assert outcomes[0].unwrap() == 1  # one crash doesn't sink the sweep
+        assert outcomes[1].status == "error"
+        assert outcomes[1].error_type == "ValueError"
+        assert "boom" in outcomes[1].tb
+        with pytest.raises(SweepExecutionError, match="boom"):
+            outcomes[1].unwrap()
+
+    def test_warm_run_served_from_cache(self, tmp_path):
+        ctx = _ctx(tmp_path)
+        tasks = [SweepTask.make("test/double", x=i) for i in range(3)]
+        cold = run_sweep(tasks, ctx=ctx)
+        warm = run_sweep(tasks, ctx=ctx)
+        assert not any(o.cached for o in cold)
+        assert all(o.cached for o in warm)
+        assert [o.value for o in warm] == [o.value for o in cold]
+
+    def test_infeasible_outcome_cached(self, tmp_path):
+        ctx = _ctx(tmp_path)
+        task = SweepTask.make("test/flaky", x=-1)
+        run_sweep([task], ctx=ctx)
+        (warm,) = run_sweep([task], ctx=ctx)
+        assert warm.cached and warm.infeasible
+
+    def test_crash_never_cached(self, tmp_path):
+        ctx = _ctx(tmp_path)
+        task = SweepTask.make("test/flaky", x=101)
+        run_sweep([task], ctx=ctx)
+        (again,) = run_sweep([task], ctx=ctx)
+        assert not again.cached and again.status == "error"
+
+    def test_no_cache_context_recomputes(self, tmp_path):
+        ctx = _ctx(tmp_path, cache=False)
+        tasks = [SweepTask.make("test/double", x=7)]
+        run_sweep(tasks, ctx=ctx)
+        (o,) = run_sweep(tasks, ctx=ctx)
+        assert not o.cached
+
+    def test_parallel_matches_serial(self, tmp_path):
+        tasks = [SweepTask.make("test/double", x=i) for i in range(6)]
+        serial = run_sweep(tasks, ctx=_ctx(tmp_path, jobs=1, cache=False))
+        fanned = run_sweep(tasks, ctx=_ctx(tmp_path, jobs=3, cache=False))
+        assert [o.value for o in fanned] == [o.value for o in serial]
+
+    def test_ambient_context_used(self, tmp_path):
+        with use_context(_ctx(tmp_path)):
+            (o,) = run_sweep([SweepTask.make("test/double", x=4)])
+        assert o.unwrap() == 8
+
+    def test_unknown_fn_is_error_outcome(self, tmp_path):
+        (o,) = run_sweep(
+            [SweepTask.make("test/not-registered", x=1)], ctx=_ctx(tmp_path)
+        )
+        assert o.status == "error"
+
+
+class TestSweepStats:
+    def test_summary_counts(self, tmp_path):
+        ctx = _ctx(tmp_path)
+        tasks = [
+            SweepTask.make("test/double", x=1),
+            SweepTask.make("test/flaky", x=-1),
+            SweepTask.make("test/flaky", x=101),
+        ]
+        line = sweep_stats(run_sweep(tasks, ctx=ctx))
+        assert "3 tasks" in line
+        assert "1 infeasible" in line
+        assert "1 errors" in line
+        warm_line = sweep_stats(run_sweep(tasks[:2], ctx=ctx))
+        assert "2 cached" in warm_line
