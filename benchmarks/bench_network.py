@@ -1,0 +1,184 @@
+"""Micro-benchmarks for the indexed flow-path engine.
+
+Times the three operations dominating a controller epoch — greedy
+consolidation, network-model construction + utilization, and the pooled
+query-latency summary — at several fat-tree arities, for both the
+``indexed`` fast path and the string-keyed ``reference`` engine, and
+emits a machine-readable ``BENCH_network.json``.
+
+Run as a module (the repository root on ``sys.path`` and ``src`` on
+``PYTHONPATH``)::
+
+    PYTHONPATH=src python -m benchmarks.bench_network --k 4 8 16
+
+Consolidation is timed twice per engine: cold (first call, which pays
+path enumeration / index compilation) and warm (steady state — what the
+controller re-runs every epoch).  Per-query demand is sized so the
+aggregator's access-link fan-in stays routable at every benchmarked
+arity; the point is engine throughput, not the paper's figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+import numpy as np
+
+from repro.consolidation.heuristic import GreedyConsolidator
+from repro.netsim.network import NetworkModel
+from repro.rng import ensure_rng
+from repro.stats import LatencySummary
+from repro.topology.fattree import FatTree
+from repro.workloads.search import SearchWorkload
+
+ENGINES = ("reference", "indexed")
+
+#: Per-query demand (bit/s) keeping (n_hosts - 1) reply flows + 20 %
+#: background under the 950 Mbps usable access-link capacity.
+QUERY_DEMAND_BPS = {4: 10e6, 6: 10e6, 8: 4e6, 10: 2e6, 12: 1e6, 14: 7e5, 16: 5e5}
+
+SCALE_FACTOR = 2.0
+BACKGROUND_UTILIZATION = 0.2
+SEED = 1
+
+
+def _time(fn, repeats: int = 1) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time (and last result) of ``fn()``."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def legacy_query_latency_summary(model, n_per_flow, seed_or_rng=None) -> LatencySummary:
+    """The pre-PR pooled summary: one per-flow, per-hop sampling loop.
+
+    ``sample_flow_latency`` still runs the original sequential stream,
+    so this reproduces the old ``query_latency_summary`` exactly — it is
+    the honest "before" for the latency-summary row.
+    """
+    rng = ensure_rng(seed_or_rng)
+    pools = [
+        model.sample_flow_latency(f.flow_id, n_per_flow, rng)
+        for f in model.traffic.latency_sensitive
+    ]
+    return LatencySummary.from_samples(np.concatenate(pools))
+
+
+def bench_arity(k: int, engines, n_per_flow: int) -> dict:
+    ft = FatTree(k)
+    demand = QUERY_DEMAND_BPS.get(k, 5e5)
+    traffic = SearchWorkload(ft, query_demand_bps=demand).traffic(
+        BACKGROUND_UTILIZATION, seed_or_rng=SEED
+    )
+    row: dict = {
+        "k": k,
+        "n_hosts": ft.n_hosts,
+        "n_flows": len(traffic),
+        "query_demand_bps": demand,
+        "scale_factor": SCALE_FACTOR,
+        "engines": {},
+    }
+    summaries = {}
+    for engine in engines:
+        cons = GreedyConsolidator(ft, engine=engine)
+        # Cold = first call; it pays path enumeration / index build and
+        # cannot be repeated, so it is the one single-shot measurement.
+        t_cold, res = _time(lambda: cons.consolidate(traffic, SCALE_FACTOR))
+        t_warm, res = _time(lambda: cons.consolidate(traffic, SCALE_FACTOR), repeats=3)
+        t_model, model = _time(
+            lambda: NetworkModel(ft, traffic, res.routing, engine=engine), repeats=3
+        )
+        t_util, _ = _time(
+            lambda: (model.max_utilization(), model.link_utilizations), repeats=3
+        )
+        if engine == "reference":
+            # Time the pre-PR per-flow sampling loop — the "before".
+            t_lat, summary = _time(
+                lambda: legacy_query_latency_summary(model, n_per_flow, seed_or_rng=SEED),
+                repeats=3,
+            )
+            latency_impl = "per-flow loop (pre-PR)"
+            summaries[engine] = model.query_latency_summary(n_per_flow, seed_or_rng=SEED)
+        else:
+            t_lat, summary = _time(
+                lambda: model.query_latency_summary(n_per_flow, seed_or_rng=SEED),
+                repeats=3,
+            )
+            latency_impl = "grouped-by-utilization"
+            summaries[engine] = summary
+        row["engines"][engine] = {
+            "consolidate_cold_s": t_cold,
+            "consolidate_warm_s": t_warm,
+            "model_build_s": t_model,
+            "utilization_s": t_util,
+            "latency_summary_s": t_lat,
+            "latency_impl": latency_impl,
+            "consolidate_evaluate_s": t_warm + t_model + t_util + t_lat,
+            "flows_per_s_warm": len(traffic) / t_warm,
+            "p99_ms": summary.p99 * 1e3,
+        }
+    if len(summaries) == 2 and summaries["reference"] != summaries["indexed"]:
+        raise AssertionError(f"k={k}: engines disagree on the latency summary")
+    if all(e in row["engines"] for e in ENGINES):
+        ref, idx = row["engines"]["reference"], row["engines"]["indexed"]
+        row["speedups"] = {
+            "consolidate_cold": ref["consolidate_cold_s"] / idx["consolidate_cold_s"],
+            "consolidate_warm": ref["consolidate_warm_s"] / idx["consolidate_warm_s"],
+            "latency_summary": ref["latency_summary_s"] / idx["latency_summary_s"],
+            "consolidate_evaluate": ref["consolidate_evaluate_s"]
+            / idx["consolidate_evaluate_s"],
+        }
+    return row
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--k", type=int, nargs="+", default=[4, 8, 16])
+    parser.add_argument("--engines", nargs="+", default=list(ENGINES), choices=ENGINES)
+    parser.add_argument("--n-per-flow", type=int, default=500)
+    parser.add_argument("--out", default="BENCH_network.json")
+    args = parser.parse_args(argv)
+
+    results = []
+    for k in args.k:
+        row = bench_arity(k, args.engines, args.n_per_flow)
+        results.append(row)
+        print(f"k={k} ({row['n_flows']} flows):")
+        for engine, r in row["engines"].items():
+            print(
+                f"  {engine:9s} cold={r['consolidate_cold_s']:.3f}s "
+                f"warm={r['consolidate_warm_s']:.3f}s "
+                f"latency={r['latency_summary_s']:.3f}s "
+                f"total={r['consolidate_evaluate_s']:.3f}s p99={r['p99_ms']:.3f}ms"
+            )
+        if "speedups" in row:
+            s = row["speedups"]
+            print(
+                f"  speedup   cold={s['consolidate_cold']:.1f}x "
+                f"warm={s['consolidate_warm']:.1f}x "
+                f"latency={s['latency_summary']:.1f}x "
+                f"consolidate+evaluate={s['consolidate_evaluate']:.1f}x"
+            )
+
+    payload = {
+        "benchmark": "bench_network",
+        "n_per_flow": args.n_per_flow,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,8 +11,20 @@ packing.  This implementation:
    "leftmost" order and keeps those with enough residual capacity on
    every directed hop (after the safety margin);
 3. among feasible paths, picks the one that powers on the least
-   additional switch/link wattage, tie-broken leftmost — which is what
-   drains traffic off the right-hand side of the tree.
+   additional switch/link wattage, tie-broken by largest bottleneck
+   residual then leftmost — which is what drains traffic off the
+   right-hand side of the tree.
+
+Two engines implement the same algorithm:
+
+* ``engine="indexed"`` (default) — the :mod:`repro.netfast` fast path:
+  candidate paths are priced as vectorized operations over precompiled
+  link-id matrices, with residual capacities and active-device
+  membership kept as flat arrays.  This is what makes datacenter-scale
+  (k=16) consolidation tractable.
+* ``engine="reference"`` — the original string-keyed loops, kept as the
+  executable specification; ``tests/test_netfast_equivalence.py``
+  asserts the engines produce byte-identical results.
 
 The optional ``allowed_subnet`` restricts routing to an existing
 :class:`~repro.topology.graph.ActiveSubnet` — used to route under the
@@ -24,9 +36,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import InfeasibleError
+from ..errors import ConfigurationError, InfeasibleError
 from ..flows.prediction import usable_capacity
 from ..flows.traffic import TrafficSet
+from ..netfast import PackingState, topology_index
 from ..netsim.network import Routing
 from ..topology.graph import ActiveSubnet, Topology, canonical_link
 from ..topology.paths import shortest_paths
@@ -44,8 +57,20 @@ class _StrandedFlow(Exception):
         self.error = error
 
 
+def _stranded(flow, scale_factor: float) -> _StrandedFlow:
+    return _StrandedFlow(
+        flow.flow_id,
+        InfeasibleError(
+            f"flow {flow.flow_id!r} ({flow.reserved_bps(scale_factor):.3e} bit/s "
+            f"reserved at K={scale_factor}) fits on no path"
+        ),
+    )
+
+
 class GreedyConsolidator(Consolidator):
     """First-fit-decreasing, leftmost-path greedy consolidator."""
+
+    ENGINES = ("indexed", "reference")
 
     def __init__(
         self,
@@ -54,14 +79,22 @@ class GreedyConsolidator(Consolidator):
         switch_model=None,
         link_model=None,
         allowed_subnet: ActiveSubnet | None = None,
+        engine: str = "indexed",
     ):
         super().__init__(topology, safety_margin_bps, switch_model, link_model)
         if allowed_subnet is not None and allowed_subnet.topology is not topology:
             raise InfeasibleError("allowed_subnet belongs to a different topology")
+        if engine not in self.ENGINES:
+            raise ConfigurationError(f"unknown engine {engine!r}; known: {self.ENGINES}")
         self.allowed_subnet = allowed_subnet
+        self.engine = engine
         # Path enumeration is pure topology; cache across consolidate() calls
         # (the controller re-runs every 10 simulated minutes).
         self._path_cache: dict[tuple[str, str], list[tuple[str, ...]]] = {}
+        # Indexed engine: (PathSet, allowed-mask) per pair, plus the
+        # reusable array state — built lazily on first consolidate().
+        self._pair_cache: dict[tuple[str, str], tuple] = {}
+        self._state: PackingState | None = None
 
     def _paths(self, src: str, dst: str) -> list[tuple[str, ...]]:
         key = (src, dst)
@@ -128,7 +161,108 @@ class GreedyConsolidator(Consolidator):
         assert last_error is not None
         raise last_error
 
+    # -- shared packing-order logic -------------------------------------------
+
+    @staticmethod
+    def _ordered_flows(traffic: TrafficSet, scale_factor: float, attempt: int, priority):
+        rank = {fid: i for i, fid in enumerate(priority)}
+        if attempt == 0:
+            return sorted(
+                traffic,
+                key=lambda f: (
+                    rank.get(f.flow_id, len(rank)),
+                    -f.reserved_bps(scale_factor),
+                    f.flow_id,
+                ),
+            )
+        # Restart: previously stranded flows go first; the rest are
+        # shuffled within equal-reservation groups so tie order
+        # varies deterministically with the attempt number.
+        rng = np.random.default_rng(attempt)
+        return sorted(
+            traffic,
+            key=lambda f: (
+                rank.get(f.flow_id, len(rank)),
+                -f.reserved_bps(scale_factor),
+                float(rng.random()),
+                f.flow_id,
+            ),
+        )
+
+    def _activation_deltas(self) -> tuple[float, float]:
+        """Hoisted per-device activation-power deltas (loop-invariant)."""
+        sw_delta = self.switch_model.power(True) - self.switch_model.power(False)
+        ln_delta = self.link_model.power(True) - self.link_model.power(False)
+        return sw_delta, ln_delta
+
     def _pack_once(
+        self,
+        traffic: TrafficSet,
+        scale_factor: float,
+        attempt: int,
+        priority: tuple[str, ...] = (),
+    ) -> ConsolidationResult:
+        if self.engine == "indexed":
+            return self._pack_once_indexed(traffic, scale_factor, attempt, priority)
+        return self._pack_once_reference(traffic, scale_factor, attempt, priority)
+
+    # -- indexed engine ---------------------------------------------------------
+
+    def _pair(self, src: str, dst: str):
+        """(PathSet, allowed-mask) for one pair, cached per consolidator."""
+        key = (src, dst)
+        entry = self._pair_cache.get(key)
+        if entry is None:
+            ps = topology_index(self.topology).path_set(src, dst)
+            entry = (ps, self._state.allowed_mask(ps))
+            self._pair_cache[key] = entry
+        return entry
+
+    def _pack_once_indexed(
+        self,
+        traffic: TrafficSet,
+        scale_factor: float,
+        attempt: int,
+        priority: tuple[str, ...] = (),
+    ) -> ConsolidationResult:
+        if self._state is None:
+            self._state = PackingState(
+                topology_index(self.topology), self.safety_margin_bps, self.allowed_subnet
+            )
+        else:
+            self._state.reset()
+        state = self._state
+        sw_delta, ln_delta = self._activation_deltas()
+
+        paths: dict[str, tuple[str, ...]] = {}
+        for flow in self._ordered_flows(traffic, scale_factor, attempt, priority):
+            ps, allowed = self._pair(flow.src, flow.dst)
+            if ps.n_paths == 0:
+                raise _stranded(flow, scale_factor)
+            reservations = np.where(
+                ps.host_hop, flow.demand_bps, flow.reserved_bps(scale_factor)
+            )
+            picked = state.evaluate(ps, reservations, sw_delta, ln_delta, allowed)
+            if picked is None:
+                raise _stranded(flow, scale_factor)
+            row, slack_row = picked
+            paths[flow.flow_id] = ps.node_paths[row]
+            state.place(ps, row, slack_row)
+
+        subnet = ActiveSubnet(
+            self.topology, state.active_switch_names(), state.active_link_names()
+        )
+        return ConsolidationResult(
+            routing=Routing(paths),
+            subnet=subnet,
+            scale_factor=scale_factor,
+            objective_watts=self._network_power(subnet),
+            solver="heuristic",
+        )
+
+    # -- reference engine -------------------------------------------------------
+
+    def _pack_once_reference(
         self,
         traffic: TrafficSet,
         scale_factor: float,
@@ -160,6 +294,8 @@ class GreedyConsolidator(Consolidator):
             active_switches.add(sw)
             active_links.add(canonical_link(host, sw))
 
+        sw_delta, ln_delta = self._activation_deltas()
+
         def find_best_path(flow, k):
             """Cheapest feasible path for ``flow`` at scale ``k`` (or None).
 
@@ -179,53 +315,27 @@ class GreedyConsolidator(Consolidator):
                 )
                 if bottleneck < 0:
                     continue
-                cost = 0.0
-                for node in path:
-                    if topo.is_switch(node) and node not in active_switches:
-                        cost += self.switch_model.power(True) - self.switch_model.power(False)
-                for u, v in zip(path[:-1], path[1:]):
-                    if canonical_link(u, v) not in active_links:
-                        cost += self.link_model.power(True) - self.link_model.power(False)
+                n_new_switches = sum(
+                    1
+                    for node in path
+                    if topo.is_switch(node) and node not in active_switches
+                )
+                n_new_links = sum(
+                    1
+                    for u, v in zip(path[:-1], path[1:])
+                    if canonical_link(u, v) not in active_links
+                )
+                cost = n_new_switches * sw_delta + n_new_links * ln_delta
                 candidate = (cost, -bottleneck, idx, path)
                 if best is None or candidate[:3] < best[:3]:
                     best = candidate
             return best
 
-        rank = {fid: i for i, fid in enumerate(priority)}
-        if attempt == 0:
-            ordered = sorted(
-                traffic,
-                key=lambda f: (
-                    rank.get(f.flow_id, len(rank)),
-                    -f.reserved_bps(scale_factor),
-                    f.flow_id,
-                ),
-            )
-        else:
-            # Restart: previously stranded flows go first; the rest are
-            # shuffled within equal-reservation groups so tie order
-            # varies deterministically with the attempt number.
-            rng = np.random.default_rng(attempt)
-            ordered = sorted(
-                traffic,
-                key=lambda f: (
-                    rank.get(f.flow_id, len(rank)),
-                    -f.reserved_bps(scale_factor),
-                    float(rng.random()),
-                    f.flow_id,
-                ),
-            )
         paths: dict[str, tuple[str, ...]] = {}
-        for flow in ordered:
+        for flow in self._ordered_flows(traffic, scale_factor, attempt, priority):
             best = find_best_path(flow, scale_factor)
             if best is None:
-                raise _StrandedFlow(
-                    flow.flow_id,
-                    InfeasibleError(
-                        f"flow {flow.flow_id!r} ({flow.reserved_bps(scale_factor):.3e} bit/s "
-                        f"reserved at K={scale_factor}) fits on no path"
-                    ),
-                )
+                raise _stranded(flow, scale_factor)
             path = best[-1]
             paths[flow.flow_id] = path
             for u, v in zip(path[:-1], path[1:]):
@@ -253,6 +363,7 @@ def route_on_subnet(
     traffic: TrafficSet,
     scale_factor: float = 1.0,
     safety_margin_bps: float = 50e6,
+    engine: str = "indexed",
 ) -> ConsolidationResult:
     """Route traffic over a *fixed* subnet (e.g. an aggregation policy).
 
@@ -266,6 +377,7 @@ def route_on_subnet(
         subnet.topology,
         safety_margin_bps=safety_margin_bps,
         allowed_subnet=subnet,
+        engine=engine,
     )
     packed = consolidator.consolidate(traffic, scale_factor)
     # Report the full fixed subnet (its power is what the policy costs),

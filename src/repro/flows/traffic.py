@@ -13,6 +13,8 @@ Builds the two traffic components of the paper's evaluation:
 
 from __future__ import annotations
 
+from collections import Counter
+
 import numpy as np
 
 from ..errors import ConfigurationError
@@ -30,6 +32,8 @@ class TrafficSet:
     def __init__(self, flows=()):
         self._flows: list[Flow] = []
         self._by_id: dict[str, Flow] = {}
+        self._demand_arr: np.ndarray | None = None
+        self._ls_mask: np.ndarray | None = None
         for f in flows:
             self.add(f)
 
@@ -38,6 +42,17 @@ class TrafficSet:
             raise ConfigurationError(f"duplicate flow id {flow.flow_id!r}")
         self._flows.append(flow)
         self._by_id[flow.flow_id] = flow
+        self._demand_arr = None
+        self._ls_mask = None
+
+    def _arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached (demand, latency-sensitive-mask) arrays in flow order."""
+        if self._demand_arr is None:
+            self._demand_arr = np.array([f.demand_bps for f in self._flows])
+            self._ls_mask = np.array(
+                [f.is_latency_sensitive for f in self._flows], dtype=bool
+            )
+        return self._demand_arr, self._ls_mask
 
     def __len__(self) -> int:
         return len(self._flows)
@@ -64,11 +79,15 @@ class TrafficSet:
         return tuple(f for f in self._flows if not f.is_latency_sensitive)
 
     def total_demand_bps(self) -> float:
-        return float(sum(f.demand_bps for f in self._flows))
+        demand, _ = self._arrays()
+        return float(demand.sum())
 
     def total_reserved_bps(self, scale_factor: float) -> float:
         """Total link reservation at scale factor ``K``."""
-        return float(sum(f.reserved_bps(scale_factor) for f in self._flows))
+        demand, ls = self._arrays()
+        if demand.size and scale_factor < 1.0:
+            raise ConfigurationError(f"scale factor must be >= 1, got {scale_factor}")
+        return float(np.where(ls, scale_factor * demand, demand).sum())
 
     def merged_with(self, other: "TrafficSet") -> "TrafficSet":
         return TrafficSet(list(self._flows) + list(other.flows))
@@ -154,7 +173,7 @@ def background_flows(
     # two elephants colliding on one access link would make the offered
     # load physically unroutable at high utilization.
     srcs = [hosts[i % len(hosts)] for i in range(n_flows)]
-    flows_per_src = {h: srcs.count(h) for h in set(srcs)}
+    flows_per_src = Counter(srcs)
     dst_cycle = _derangement(hosts, rng)
     dst_of = dict(zip(hosts, dst_cycle))
     for i, src in enumerate(srcs):

@@ -1,0 +1,33 @@
+"""Integer-indexed fast path for the network half of the repository.
+
+The string-keyed :mod:`repro.topology` / :mod:`repro.netsim` /
+:mod:`repro.consolidation` APIs are what the experiments and the
+controller speak, but at datacenter scale (k=16 fat-tree: 1024 hosts,
+thousands of flows, 6-hop paths) per-flow per-hop Python loops over
+node-name tuples are the dominant cost of every controller epoch.  This
+package compiles a frozen :class:`~repro.topology.graph.Topology` into
+dense integer ids and NumPy arrays once, then lets routing, utilization,
+latency sampling and greedy packing run as vectorized array operations:
+
+* :class:`TopologyIndex` — dense node / directed-link ids, per-link
+  capacity arrays, and lazily cached per-(src, dst) shortest-path sets
+  as rectangular link-id matrices (analytic pod/core enumeration for
+  fat-trees, networkx fallback otherwise);
+* :class:`RoutingMatrix` — a CSR flow x directed-link incidence compiled
+  from a :class:`~repro.netsim.network.Routing`, turning utilization
+  accumulation into one ``np.add.at``;
+* :class:`PackingState` — the incremental residual-capacity /
+  active-device arrays behind the indexed greedy consolidation engine.
+
+Everything here is an *engine* under the existing API: outputs are
+bit-identical to the string-keyed reference implementations (same
+floating-point operation order, same activation-cost / -bottleneck /
+leftmost tie-breaking), which ``tests/test_netfast_equivalence.py``
+enforces.
+"""
+
+from .index import PathSet, TopologyIndex, topology_index
+from .packing import PackingState
+from .routing import RoutingMatrix
+
+__all__ = ["TopologyIndex", "PathSet", "topology_index", "RoutingMatrix", "PackingState"]

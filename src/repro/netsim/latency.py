@@ -37,7 +37,17 @@ from ..errors import ConfigurationError
 from ..rng import ensure_rng
 from ..units import GBPS
 
-__all__ = ["LinkLatencyModel", "path_delay_mean", "sample_path_delays"]
+__all__ = [
+    "LinkLatencyModel",
+    "path_delay_mean",
+    "sample_path_delays",
+    "sample_pooled_path_delays",
+]
+
+#: Row-chunk budget (elements) for grouped sampling.  Part of the
+#: sampling contract: the chunk boundary decides the order RNG draws are
+#: consumed in, so it must be a fixed constant, not adaptive to memory.
+_POOLED_CHUNK_ELEMS = 2_000_000
 
 
 @dataclass(frozen=True)
@@ -160,3 +170,103 @@ def sample_path_delays(
     for u in utils:
         total += model.sample_delays(float(u), n, rng)
     return total
+
+
+def sample_pooled_path_delays(
+    model: LinkLatencyModel,
+    link_utilizations,
+    flow_of_hop,
+    n_flows: int,
+    n: int,
+    seed_or_rng=None,
+) -> np.ndarray:
+    """Draw ``n`` end-to-end delay samples for many paths at once.
+
+    ``link_utilizations`` concatenates every flow's per-hop utilizations
+    and ``flow_of_hop`` maps each hop to its owning flow row; the result
+    has shape ``(n_flows, n)``.  This is the canonical sampling scheme
+    behind :meth:`NetworkModel.query_latency_summary`: hops are grouped
+    by unique (clipped) utilization in ascending order and each group's
+    waits are drawn with the same two-phase scheme as
+    :meth:`LinkLatencyModel.sample_waits` — congested-mask uniforms for
+    the whole group, then the congested exponentials, then the
+    light-phase uniforms and exponentials — one batched draw per group
+    instead of one per hop.  Groups are processed in fixed row chunks of
+    ``_POOLED_CHUNK_ELEMS`` elements; the chunk size is part of the
+    deterministic stream contract.
+
+    Note the RNG stream differs from calling
+    :func:`sample_path_delays` per flow (draws are grouped across
+    flows); both engines of :class:`NetworkModel` use *this* helper for
+    pooled summaries, so their outputs are bit-identical.
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be non-negative, got {n}")
+    rng = ensure_rng(seed_or_rng)
+    rho = model._clip_rho(link_utilizations)
+    flow_of_hop = np.asarray(flow_of_hop, dtype=np.intp)
+    if rho.shape != flow_of_hop.shape:
+        raise ConfigurationError("link_utilizations and flow_of_hop must align")
+    if rho.size == 0:
+        raise ConfigurationError("a path must traverse at least one link")
+
+    s = model.transmission_s
+    hops_per_flow = np.bincount(flow_of_hop, minlength=n_flows).astype(float)
+    totals = np.empty((n_flows, n), dtype=float)
+    totals[:] = (hops_per_flow * (model.propagation_s + s))[:, None]
+    if n == 0:
+        return totals
+
+    uniq, inverse = np.unique(rho, return_inverse=True)
+    chunk_rows = max(1, _POOLED_CHUNK_ELEMS // max(1, n))
+    for g, rho_g in enumerate(uniq):
+        if rho_g == 0.0:
+            continue
+        hops = np.flatnonzero(inverse == g)
+        p_congested = rho_g**model.knee_exponent
+        congested_scale = model.burst_factor * s / (1.0 - rho_g)
+        light_scale = s / (1.0 - rho_g)
+        for lo in range(0, hops.size, chunk_rows):
+            rows = hops[lo : lo + chunk_rows]
+            m = rows.size
+            congested = rng.random((m, n)) < p_congested
+            waits = np.zeros((m, n))
+            n_c = int(congested.sum())
+            if n_c:
+                waits[congested] = rng.exponential(congested_scale, size=n_c)
+            light = ~congested
+            n_l = int(light.sum())
+            if n_l:
+                queued = rng.random(n_l) < rho_g
+                light_waits = np.zeros(n_l)
+                n_q = int(queued.sum())
+                if n_q:
+                    light_waits[queued] = rng.exponential(light_scale, size=n_q)
+                waits[light] = light_waits
+            _scatter_add_rows(totals, flow_of_hop[rows], waits)
+    return totals
+
+
+def _scatter_add_rows(totals: np.ndarray, idx: np.ndarray, waits: np.ndarray) -> None:
+    """``totals[idx[i]] += waits[i]`` for every row i, accumulating
+    duplicates of ``idx`` in row order (``np.add.at`` semantics, but
+    with vectorized adds: duplicates are split by occurrence rank, so
+    each pass has unique destinations while every destination still
+    receives its additions in the original row order — bit-identical to
+    the naive sequential loop)."""
+    if len(idx) == len(np.unique(idx)):
+        totals[idx] += waits
+        return
+    order = np.argsort(idx, kind="stable")
+    sorted_idx = idx[order]
+    run_start = np.empty(len(idx), dtype=bool)
+    run_start[0] = True
+    run_start[1:] = sorted_idx[1:] != sorted_idx[:-1]
+    # Occurrence rank of each row among rows sharing its destination.
+    rank = np.empty(len(idx), dtype=np.intp)
+    rank[order] = np.arange(len(idx)) - np.maximum.accumulate(
+        np.where(run_start, np.arange(len(idx)), 0)
+    )
+    for r in range(int(rank.max()) + 1):
+        sel = rank == r
+        totals[idx[sel]] += waits[sel]

@@ -89,6 +89,9 @@ class FatTree(Topology):
                     g.add_edge(host, self.edge_name(pod, e), capacity=link_capacity_bps)
 
         super().__init__(g)
+        # Path enumeration asks for these tuples once per flow; memoize.
+        self._aggs_in_pod: dict[int, tuple[str, ...]] = {}
+        self._cores_in_group: dict[int, tuple[str, ...]] = {}
 
     # -- naming ------------------------------------------------------------------
 
@@ -160,14 +163,26 @@ class FatTree(Topology):
 
     def agg_switches_in_pod(self, pod: int) -> tuple[str, ...]:
         self._check_pod(pod)
-        prefix = f"a{pod}_"
-        return tuple(s for s in self.switches_of_kind(NodeKind.AGG) if s.startswith(prefix))
+        cached = self._aggs_in_pod.get(pod)
+        if cached is None:
+            prefix = f"a{pod}_"
+            cached = tuple(
+                s for s in self.switches_of_kind(NodeKind.AGG) if s.startswith(prefix)
+            )
+            self._aggs_in_pod[pod] = cached
+        return cached
 
     def cores_in_group(self, group: int) -> tuple[str, ...]:
         if not 0 <= group < self.n_core_groups:
             raise ConfigurationError(f"core group {group} outside [0, {self.n_core_groups})")
-        prefix = f"c{group}_"
-        return tuple(s for s in self.switches_of_kind(NodeKind.CORE) if s.startswith(prefix))
+        cached = self._cores_in_group.get(group)
+        if cached is None:
+            prefix = f"c{group}_"
+            cached = tuple(
+                s for s in self.switches_of_kind(NodeKind.CORE) if s.startswith(prefix)
+            )
+            self._cores_in_group[group] = cached
+        return cached
 
     def _check_pod(self, pod: int) -> None:
         if not 0 <= pod < self._k:

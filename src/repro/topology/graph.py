@@ -76,11 +76,15 @@ class Topology:
                     f"(degree {graph.degree(node)})"
                 )
         self._graph = nx.freeze(graph)
+        # Node kinds are immutable; a plain dict avoids the networkx
+        # attribute-view indirection on the path-enumeration hot path.
+        self._kind = {n: d["kind"] for n, d in graph.nodes(data=True)}
         self._hosts = tuple(sorted(n for n, d in graph.nodes(data=True) if d["kind"] == NodeKind.HOST))
         self._switches = tuple(
             sorted(n for n, d in graph.nodes(data=True) if d["kind"] in NodeKind.SWITCH_KINDS)
         )
         self._links = tuple(sorted(canonical_link(u, v) for u, v in graph.edges()))
+        self._switches_by_kind: dict[str, tuple[str, ...]] = {}
 
     # -- structural accessors ------------------------------------------------
 
@@ -118,17 +122,21 @@ class Topology:
 
     def kind(self, node: str) -> str:
         """The :class:`NodeKind` of ``node``."""
-        return self._graph.nodes[node]["kind"]
+        return self._kind[node]
 
     def is_host(self, node: str) -> bool:
-        return self.kind(node) == NodeKind.HOST
+        return self._kind[node] == NodeKind.HOST
 
     def is_switch(self, node: str) -> bool:
-        return self.kind(node) in NodeKind.SWITCH_KINDS
+        return self._kind[node] in NodeKind.SWITCH_KINDS
 
     def switches_of_kind(self, kind: str) -> tuple[str, ...]:
         """All switches of a specific kind (edge/agg/core), sorted."""
-        return tuple(n for n in self._switches if self.kind(n) == kind)
+        cached = self._switches_by_kind.get(kind)
+        if cached is None:
+            cached = tuple(n for n in self._switches if self._kind[n] == kind)
+            self._switches_by_kind[kind] = cached
+        return cached
 
     def capacity(self, u: str, v: str) -> float:
         """Capacity (bit/s) of the link between ``u`` and ``v``."""

@@ -1,0 +1,123 @@
+"""Unit tests for the netfast index / routing-matrix building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.consolidation.heuristic import GreedyConsolidator
+from repro.flows.traffic import combined_traffic
+from repro.netfast import RoutingMatrix, topology_index
+from repro.netfast.routing import _ranges
+from repro.netsim.latency import (
+    LinkLatencyModel,
+    _scatter_add_rows,
+    sample_pooled_path_delays,
+)
+from repro.topology.fattree import FatTree
+from repro.topology.paths import shortest_paths
+
+
+@pytest.fixture(scope="module")
+def ft4():
+    return FatTree(4)
+
+
+def test_index_node_ids_hosts_first(ft4):
+    idx = topology_index(ft4)
+    assert idx.node_names[: idx.n_hosts] == ft4.hosts
+    assert idx.node_names[idx.n_hosts :] == ft4.switches
+    assert not idx.is_switch_node[: idx.n_hosts].any()
+    assert idx.is_switch_node[idx.n_hosts :].all()
+
+
+def test_index_directed_link_scheme(ft4):
+    idx = topology_index(ft4)
+    for i, (u, v) in enumerate(ft4.links):
+        assert idx.dlink_id[(u, v)] == 2 * i
+        assert idx.dlink_id[(v, u)] == 2 * i + 1
+        assert idx.dlink_name(2 * i) == (u, v)
+        assert idx.dlink_name(2 * i + 1) == (v, u)
+        assert idx.dlink_capacity[2 * i] == ft4.capacity(u, v)
+
+
+def test_index_is_shared_per_topology(ft4):
+    assert topology_index(ft4) is topology_index(ft4)
+    assert topology_index(ft4) is not topology_index(FatTree(4))
+
+
+def test_path_set_matches_shortest_paths(ft4):
+    idx = topology_index(ft4)
+    src, dst = ft4.hosts[0], ft4.hosts[-1]
+    ps = idx.path_set(src, dst)
+    paths = shortest_paths(ft4, src, dst)
+    assert ps.node_paths == tuple(paths)
+    assert ps.dlinks.shape == (len(paths), len(paths[0]) - 1)
+    for r, path in enumerate(paths):
+        for h, (u, v) in enumerate(zip(path[:-1], path[1:])):
+            assert idx.dlink_name(int(ps.dlinks[r, h])) == (u, v)
+        switches = [n for n in path if ft4.is_switch(n)]
+        assert [idx.node_names[i] for i in ps.switch_nodes[r]] == switches
+    # First and last hops touch hosts; middle hops do not.
+    assert ps.host_hop[:, 0].all() and ps.host_hop[:, -1].all()
+    assert not ps.host_hop[:, 1:-1].any()
+
+
+def test_routing_matrix_round_trip(ft4):
+    traffic = combined_traffic(ft4, ft4.hosts[0], 0.2, seed_or_rng=1)
+    res = GreedyConsolidator(ft4).consolidate(traffic, 1.0)
+    idx = topology_index(ft4)
+    mat = RoutingMatrix.build(idx, traffic, res.routing)
+    assert mat.n_flows == len(traffic)
+    for flow in traffic:
+        hops = [idx.dlink_name(int(d)) for d in mat.hops_of(flow.flow_id)]
+        assert tuple(hops) == res.routing.directed_links(flow.flow_id)
+    rows = [mat.row_of[f.flow_id] for f in traffic.latency_sensitive]
+    dlinks, owner = mat.concat_rows(rows)
+    expect = np.concatenate([mat.dlinks[mat.indptr[r] : mat.indptr[r + 1]] for r in rows])
+    assert np.array_equal(dlinks, expect)
+    counts = [mat.indptr[r + 1] - mat.indptr[r] for r in rows]
+    assert np.array_equal(owner, np.repeat(np.arange(len(rows)), counts))
+
+
+def test_ranges():
+    assert np.array_equal(_ranges(np.array([3, 1, 2])), [0, 1, 2, 0, 0, 1])
+    assert np.array_equal(_ranges(np.array([2])), [0, 1])
+    assert _ranges(np.array([], dtype=np.intp)).size == 0
+
+
+def test_scatter_add_rows_matches_add_at():
+    rng = np.random.default_rng(42)
+    for _ in range(50):
+        n_rows, n_dest, n = rng.integers(1, 30), rng.integers(1, 8), rng.integers(1, 6)
+        idx = rng.integers(0, n_dest, n_rows)
+        waits = rng.random((n_rows, n))
+        a = rng.random((n_dest, n))
+        b = a.copy()
+        np.add.at(a, idx, waits)
+        _scatter_add_rows(b, idx, waits)
+        assert np.array_equal(a, b)
+
+
+def test_pooled_sampler_deterministic_and_shaped():
+    model = LinkLatencyModel()
+    utils = np.array([0.0, 0.3, 0.3, 0.9, 0.5, 0.9])
+    flow_of_hop = np.array([0, 0, 1, 1, 2, 2])
+    a = sample_pooled_path_delays(model, utils, flow_of_hop, 3, 100, seed_or_rng=9)
+    b = sample_pooled_path_delays(model, utils, flow_of_hop, 3, 100, seed_or_rng=9)
+    assert a.shape == (3, 100)
+    assert np.array_equal(a, b)
+    # Every sample includes its flow's fixed propagation+transmission base.
+    base = model.propagation_s + model.transmission_s
+    assert (a >= 2 * base - 1e-18).all()
+    # Flow 1 crosses a hot 0.9 link; its mean must exceed flow 0's.
+    assert a[1].mean() > a[0].mean()
+
+
+def test_pooled_sampler_mean_tracks_analytic():
+    model = LinkLatencyModel()
+    utils = np.full(4, 0.8)
+    flow_of_hop = np.zeros(4, dtype=np.intp)
+    samples = sample_pooled_path_delays(model, utils, flow_of_hop, 1, 20000, seed_or_rng=3)
+    expect = float(np.sum(model.mean_delay(utils)))
+    assert samples.mean() == pytest.approx(expect, rel=0.05)
