@@ -1,17 +1,28 @@
 """Latency-aware traffic consolidation (EPRONS-Network)."""
 
-from .base import ConsolidationResult, Consolidator, link_reservation, validate_result
+from .base import (
+    ConsolidationResult,
+    Consolidator,
+    link_reservation,
+    validate_exclusions,
+    validate_result,
+)
 from .elastictree import ElasticTreeConsolidator
 from .heuristic import GreedyConsolidator, route_on_subnet
 from .milp import MilpConsolidator
+from .repair import LocalRepair, local_repair, stranded_flows
 
 __all__ = [
     "ConsolidationResult",
     "Consolidator",
     "validate_result",
+    "validate_exclusions",
     "link_reservation",
     "GreedyConsolidator",
     "ElasticTreeConsolidator",
     "route_on_subnet",
     "MilpConsolidator",
+    "LocalRepair",
+    "local_repair",
+    "stranded_flows",
 ]

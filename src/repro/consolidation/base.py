@@ -18,9 +18,45 @@ from ..errors import ConfigurationError
 from ..flows.traffic import TrafficSet
 from ..netsim.network import Routing
 from ..power.models import LinkPowerModel, SwitchPowerModel
-from ..topology.graph import ActiveSubnet, Topology
+from ..topology.graph import ActiveSubnet, Link, Topology, canonical_link
 
-__all__ = ["ConsolidationResult", "Consolidator", "validate_result", "link_reservation"]
+__all__ = [
+    "ConsolidationResult",
+    "Consolidator",
+    "validate_result",
+    "link_reservation",
+    "validate_exclusions",
+]
+
+
+def validate_exclusions(
+    topology: Topology,
+    switches,
+    links,
+) -> tuple[frozenset[str], frozenset[Link]]:
+    """Canonicalize and sanity-check a failed-device exclusion set.
+
+    Both consolidators' repair entry points call this before solving
+    around an outage: unknown devices are configuration mistakes, and a
+    failure that severs a host's attachment (its edge switch or access
+    link) cannot be routed around at all — servers are never powered
+    off in EPRONS, so such faults are outside the model.
+    """
+    switches = frozenset(switches)
+    links = frozenset(canonical_link(u, v) for u, v in links)
+    unknown = switches - set(topology.switches)
+    if unknown:
+        raise ConfigurationError(f"unknown excluded switches: {sorted(unknown)}")
+    unknown_links = links - set(topology.links)
+    if unknown_links:
+        raise ConfigurationError(f"unknown excluded links: {sorted(unknown_links)}")
+    for host in topology.hosts:
+        att = topology.attachment_switch(host)
+        if att in switches or canonical_link(host, att) in links:
+            raise ConfigurationError(
+                f"excluding host {host!r}'s attachment ({att!r}) would strand it"
+            )
+    return switches, links
 
 
 def link_reservation(flow, scale_factor: float, topology: Topology, u: str, v: str) -> float:

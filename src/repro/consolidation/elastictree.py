@@ -27,6 +27,8 @@ class ElasticTreeConsolidator(GreedyConsolidator):
         scale_factor: float = 1.0,
         best_effort_scale: bool = False,
         max_restarts: int = 8,
+        excluded_switches: frozenset[str] = frozenset(),
+        excluded_links: frozenset = frozenset(),
     ) -> ConsolidationResult:
         """Pack at K=1 regardless of the requested ``scale_factor``.
 
@@ -34,5 +36,10 @@ class ElasticTreeConsolidator(GreedyConsolidator):
         latency-aware reservation to honour.
         """
         return super().consolidate(
-            traffic, 1.0, best_effort_scale=best_effort_scale, max_restarts=max_restarts
+            traffic,
+            1.0,
+            best_effort_scale=best_effort_scale,
+            max_restarts=max_restarts,
+            excluded_switches=excluded_switches,
+            excluded_links=excluded_links,
         )

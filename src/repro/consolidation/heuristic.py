@@ -41,9 +41,14 @@ from ..flows.prediction import usable_capacity
 from ..flows.traffic import TrafficSet
 from ..netfast import PackingState, topology_index
 from ..netsim.network import Routing
-from ..topology.graph import ActiveSubnet, Topology, canonical_link
+from ..topology.graph import ActiveSubnet, Link, Topology, canonical_link
 from ..topology.paths import shortest_paths
-from .base import ConsolidationResult, Consolidator, link_reservation
+from .base import (
+    ConsolidationResult,
+    Consolidator,
+    link_reservation,
+    validate_exclusions,
+)
 
 __all__ = ["GreedyConsolidator", "route_on_subnet"]
 
@@ -122,6 +127,8 @@ class GreedyConsolidator(Consolidator):
         scale_factor: float = 1.0,
         best_effort_scale: bool = False,
         max_restarts: int = 8,
+        excluded_switches: frozenset[str] = frozenset(),
+        excluded_links: frozenset[Link] = frozenset(),
     ) -> ConsolidationResult:
         """Pack ``traffic`` at scale factor ``K``.
 
@@ -141,12 +148,21 @@ class GreedyConsolidator(Consolidator):
         time (down to 1) — the controller spreads flows as much as
         capacity allows rather than rejecting the epoch; the result
         reports the *achieved* scale factor.
+
+        ``excluded_switches`` / ``excluded_links`` is the failure-repair
+        entry point: the named devices are treated as failed — no path
+        may touch them, whatever the allowed subnet says — so the
+        controller can re-consolidate around an outage on the surviving
+        topology.
         """
+        excluded = validate_exclusions(self.topology, excluded_switches, excluded_links)
         last_error: InfeasibleError | None = None
         priority: list[str] = []
         for attempt in range(max(1, max_restarts + 1)):
             try:
-                return self._pack_once(traffic, scale_factor, attempt, tuple(priority))
+                return self._pack_once(
+                    traffic, scale_factor, attempt, tuple(priority), excluded
+                )
             except _StrandedFlow as err:
                 last_error = err.error
                 if err.flow_id not in priority:
@@ -157,6 +173,8 @@ class GreedyConsolidator(Consolidator):
                 max(1.0, scale_factor - 1.0),
                 best_effort_scale=True,
                 max_restarts=max_restarts,
+                excluded_switches=excluded_switches,
+                excluded_links=excluded_links,
             )
         assert last_error is not None
         raise last_error
@@ -195,16 +213,19 @@ class GreedyConsolidator(Consolidator):
         ln_delta = self.link_model.power(True) - self.link_model.power(False)
         return sw_delta, ln_delta
 
+    _NO_EXCLUSIONS = (frozenset(), frozenset())
+
     def _pack_once(
         self,
         traffic: TrafficSet,
         scale_factor: float,
         attempt: int,
         priority: tuple[str, ...] = (),
+        excluded: tuple[frozenset, frozenset] = _NO_EXCLUSIONS,
     ) -> ConsolidationResult:
         if self.engine == "indexed":
-            return self._pack_once_indexed(traffic, scale_factor, attempt, priority)
-        return self._pack_once_reference(traffic, scale_factor, attempt, priority)
+            return self._pack_once_indexed(traffic, scale_factor, attempt, priority, excluded)
+        return self._pack_once_reference(traffic, scale_factor, attempt, priority, excluded)
 
     # -- indexed engine ---------------------------------------------------------
 
@@ -218,12 +239,44 @@ class GreedyConsolidator(Consolidator):
             self._pair_cache[key] = entry
         return entry
 
+    def _exclusion_masker(self, excluded: tuple[frozenset, frozenset]):
+        """A per-pair path mask dropping paths that touch failed devices.
+
+        Returns ``None`` when nothing is excluded.  Masks are rebuilt
+        per consolidate() call — unlike the allowed-subnet mask, the
+        failed set changes between epochs, so it must not land in the
+        long-lived pair cache.
+        """
+        excl_switches, excl_links = excluded
+        if not excl_switches and not excl_links:
+            return None
+        index = topology_index(self.topology)
+        node_excl = np.zeros(index.n_nodes, dtype=bool)
+        for sw in excl_switches:
+            node_excl[index.node_id[sw]] = True
+        ulink_excl = np.zeros(index.n_ulinks, dtype=bool)
+        for link in excl_links:
+            ulink_excl[index.ulink_id[link]] = True
+        cache: dict[tuple[str, str], np.ndarray] = {}
+
+        def mask_for(key, ps):
+            mask = cache.get(key)
+            if mask is None:
+                mask = ~ulink_excl[ps.ulinks].any(axis=1)
+                if ps.switch_nodes.shape[1]:
+                    mask &= ~node_excl[ps.switch_nodes].any(axis=1)
+                cache[key] = mask
+            return mask
+
+        return mask_for
+
     def _pack_once_indexed(
         self,
         traffic: TrafficSet,
         scale_factor: float,
         attempt: int,
         priority: tuple[str, ...] = (),
+        excluded: tuple[frozenset, frozenset] = _NO_EXCLUSIONS,
     ) -> ConsolidationResult:
         if self._state is None:
             self._state = PackingState(
@@ -233,12 +286,16 @@ class GreedyConsolidator(Consolidator):
             self._state.reset()
         state = self._state
         sw_delta, ln_delta = self._activation_deltas()
+        masker = self._exclusion_masker(excluded)
 
         paths: dict[str, tuple[str, ...]] = {}
         for flow in self._ordered_flows(traffic, scale_factor, attempt, priority):
             ps, allowed = self._pair(flow.src, flow.dst)
             if ps.n_paths == 0:
                 raise _stranded(flow, scale_factor)
+            if masker is not None:
+                surviving = masker((flow.src, flow.dst), ps)
+                allowed = surviving if allowed is None else (allowed & surviving)
             reservations = np.where(
                 ps.host_hop, flow.demand_bps, flow.reserved_bps(scale_factor)
             )
@@ -268,8 +325,20 @@ class GreedyConsolidator(Consolidator):
         scale_factor: float,
         attempt: int,
         priority: tuple[str, ...] = (),
+        excluded: tuple[frozenset, frozenset] = _NO_EXCLUSIONS,
     ) -> ConsolidationResult:
         topo = self.topology
+        excl_switches, excl_links = excluded
+
+        def path_survives(path: tuple[str, ...]) -> bool:
+            if not excl_switches and not excl_links:
+                return True
+            if any(node in excl_switches for node in path):
+                return False
+            return not any(
+                canonical_link(u, v) in excl_links
+                for u, v in zip(path[:-1], path[1:])
+            )
         residual: dict[tuple[str, str], float] = {}
 
         def residual_of(u: str, v: str) -> float:
@@ -307,7 +376,7 @@ class GreedyConsolidator(Consolidator):
             """
             best = None  # (activation_watts, -bottleneck_residual, path_index, path)
             for idx, path in enumerate(self._paths(flow.src, flow.dst)):
-                if not self._path_allowed(path):
+                if not self._path_allowed(path) or not path_survives(path):
                     continue
                 bottleneck = min(
                     residual_of(u, v) - link_reservation(flow, k, topo, u, v)

@@ -61,7 +61,12 @@ from ..flows.prediction import usable_capacity
 from ..flows.traffic import TrafficSet
 from ..netsim.network import Routing
 from ..topology.graph import ActiveSubnet, canonical_link
-from .base import ConsolidationResult, Consolidator, link_reservation
+from .base import (
+    ConsolidationResult,
+    Consolidator,
+    link_reservation,
+    validate_exclusions,
+)
 
 __all__ = ["MilpConsolidator"]
 
@@ -91,7 +96,19 @@ class MilpConsolidator(Consolidator):
             raise SolverError("time limit must be positive")
         self.time_limit_s = time_limit_s
 
-    def consolidate(self, traffic: TrafficSet, scale_factor: float = 1.0) -> ConsolidationResult:
+    def consolidate(
+        self,
+        traffic: TrafficSet,
+        scale_factor: float = 1.0,
+        excluded_switches: frozenset[str] = frozenset(),
+        excluded_links: frozenset = frozenset(),
+    ) -> ConsolidationResult:
+        """Solve the exact model; ``excluded_*`` is the repair entry
+        point — failed devices have their X/Y indicators fixed to 0, so
+        the optimum is computed over the surviving topology."""
+        excluded_switches, excluded_links = validate_exclusions(
+            self.topology, excluded_switches, excluded_links
+        )
         topo = self.topology
         flows = list(traffic)
         links = list(topo.links)
@@ -136,6 +153,12 @@ class MilpConsolidator(Consolidator):
         # coupling constraint) are forced on.
         for host in topo.hosts:
             lb[link_index[canonical_link(host, topo.attachment_switch(host))]] = 1.0
+        # Failed devices: indicators fixed off (coupling X <= Y then
+        # forces every link incident to a failed switch off too).
+        for link in excluded_links:
+            ub[link_index[link]] = 0.0
+        for sw in excluded_switches:
+            ub[n_x + switch_index[sw]] = 0.0
 
         rows: list[int] = []
         cols: list[int] = []

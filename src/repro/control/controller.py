@@ -16,6 +16,21 @@ Switch power-on transitions are counted (the paper measures 72.52 s
 power-on on an HPE switch and sidesteps it with backup paths; we expose
 the transition count so experiments can quantify how much churn a
 policy causes).
+
+Mid-epoch device failures enter through :meth:`SdnController.handle_failures`,
+which walks a graceful-degradation ladder:
+
+1. **local repair** — prune the dead devices from the active subnet and
+   re-route stranded flows over surviving powered-on switches (dark
+   ports may be lit; no switch boots, so recovery is rule-install
+   fast);
+2. **re-consolidation** — a full solve on the surviving topology
+   (standby switches may boot, paying the 72.52 s power-on);
+3. **safe mode** — every healthy device on (the ElasticTree-style
+   all-on fabric), routing at K=1.
+
+Each rung is only tried when the one above is infeasible; every
+notification is recorded in a :class:`~repro.faults.ResilienceLog`.
 """
 
 from __future__ import annotations
@@ -23,12 +38,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..consolidation.base import ConsolidationResult, Consolidator
-from ..errors import ConfigurationError
+from ..consolidation.repair import local_repair, stranded_flows
+from ..errors import ConfigurationError, InfeasibleError
+from ..faults.metrics import (
+    DETECTION_S,
+    REPAIR_LOCAL,
+    REPAIR_NONE,
+    REPAIR_RECONSOLIDATE,
+    REPAIR_SAFE_MODE,
+    RULE_INSTALL_S,
+    RepairOutcome,
+    ResilienceLog,
+)
 from ..flows.traffic import TrafficSet
 from ..netsim.network import Routing
-from ..topology.graph import ActiveSubnet
+from ..topology.graph import ActiveSubnet, canonical_link
 from .monitor import TrafficMonitor
-from .rules import ReconfigurationPlan, diff_routings, diff_subnets
+from .rules import DeviceCommands, ReconfigurationPlan, diff_routings, diff_subnets
 
 __all__ = ["EpochOutcome", "SdnController"]
 
@@ -38,12 +64,30 @@ SWITCH_POWER_ON_S = 72.52
 
 @dataclass(frozen=True)
 class EpochOutcome:
-    """What one optimization epoch decided."""
+    """What one optimization epoch decided.
+
+    ``requested_scale_factor`` is the controller's configured K;
+    :attr:`effective_scale_factor` is the K the adopted solution was
+    actually packed at — lower when the heuristic degraded the scale to
+    fit, and 1.0 when the exact-MILP fallback (``milp_fallback``)
+    rescued an epoch the greedy could not pack.  K-sweep figures must
+    attribute epochs by the effective value.
+    """
 
     epoch: int
     result: ConsolidationResult
     plan: ReconfigurationPlan
     predicted_total_demand_bps: float
+    requested_scale_factor: float = 0.0
+    milp_fallback: bool = False
+
+    @property
+    def effective_scale_factor(self) -> float:
+        return self.result.scale_factor
+
+    @property
+    def scale_degraded(self) -> bool:
+        return self.result.scale_factor != self.requested_scale_factor
 
 
 class SdnController:
@@ -89,6 +133,10 @@ class SdnController:
         self._subnet: ActiveSubnet | None = None
         self.switch_power_on_count = 0
         self.transition_energy_joules = 0.0
+        #: Devices currently known-failed; every solve routes around them.
+        self.failed_switches: set[str] = set()
+        self.failed_links: set[tuple[str, str]] = set()
+        self.resilience = ResilienceLog()
 
     # -- state ---------------------------------------------------------------------
 
@@ -115,7 +163,66 @@ class SdnController:
         """Cumulative switch power-on latency incurred so far."""
         return self.switch_power_on_count * SWITCH_POWER_ON_S
 
+    # -- transition accounting --------------------------------------------------------
+
+    def _charge_transitions(self, devices: DeviceCommands) -> float:
+        """Count power-ons and charge boot-overlap energy (Section IV-B).
+
+        A switch draws power for the full 72.52 s boot before it can
+        forward, and the backup-path mitigation keeps the switches
+        being retired alive over the same interval — but only while a
+        power-on is actually in flight.  An epoch that merely turns
+        switches *off* hands traffic to already-forwarding paths
+        immediately and retires the rest at once: no boot, no overlap,
+        no transition charge.
+        """
+        n_on = len(devices.switches_to_on)
+        self.switch_power_on_count += n_on
+        if n_on == 0:
+            return 0.0
+        switch_watts = self.consolidator.switch_model.power(True)
+        overlap = n_on + len(devices.switches_to_off)
+        joules = overlap * switch_watts * SWITCH_POWER_ON_S
+        self.transition_energy_joules += joules
+        return joules
+
     # -- the epoch step ---------------------------------------------------------------
+
+    def _solve(self, predicted: TrafficSet) -> tuple[ConsolidationResult, bool]:
+        """One consolidation solve honouring the failed-device set.
+
+        Returns ``(result, used_milp_fallback)``.
+        """
+        kwargs = {}
+        from ..consolidation.heuristic import GreedyConsolidator
+
+        if isinstance(self.consolidator, GreedyConsolidator):
+            kwargs["best_effort_scale"] = self.best_effort_scale
+        if self.failed_switches or self.failed_links:
+            kwargs["excluded_switches"] = frozenset(self.failed_switches)
+            kwargs["excluded_links"] = frozenset(self.failed_links)
+        try:
+            return self.consolidator.consolidate(predicted, self.scale_factor, **kwargs), False
+        except InfeasibleError:
+            if self.milp_fallback_time_limit_s is None:
+                raise
+            from ..consolidation.milp import MilpConsolidator
+
+            fallback = MilpConsolidator(
+                self.consolidator.topology,
+                safety_margin_bps=self.consolidator.safety_margin_bps,
+                switch_model=self.consolidator.switch_model,
+                link_model=self.consolidator.link_model,
+                time_limit_s=self.milp_fallback_time_limit_s,
+            )
+            result = fallback.consolidate(
+                predicted,
+                1.0,
+                excluded_switches=frozenset(self.failed_switches),
+                excluded_links=frozenset(self.failed_links),
+            )
+            self.milp_fallback_count += 1
+            return result, True
 
     def run_epoch(self, offered_traffic: TrafficSet) -> EpochOutcome:
         """Execute one optimization epoch.
@@ -127,33 +234,12 @@ class SdnController:
         packed even at K=1 (with ``best_effort_scale``) or at the
         configured K (without).
         """
+        # Departed flows' predictors would otherwise accumulate without
+        # bound under churn — their stats are stale the moment the flow
+        # leaves, so drop them before predicting.
+        self.monitor.prune(flow.flow_id for flow in offered_traffic)
         predicted = self.monitor.predicted_traffic(offered_traffic)
-        kwargs = {}
-        from ..consolidation.heuristic import GreedyConsolidator
-
-        if isinstance(self.consolidator, GreedyConsolidator):
-            kwargs["best_effort_scale"] = self.best_effort_scale
-        try:
-            result = self.consolidator.consolidate(predicted, self.scale_factor, **kwargs)
-        except Exception as err:
-            from ..errors import InfeasibleError
-
-            if (
-                not isinstance(err, InfeasibleError)
-                or self.milp_fallback_time_limit_s is None
-            ):
-                raise
-            from ..consolidation.milp import MilpConsolidator
-
-            fallback = MilpConsolidator(
-                self.consolidator.topology,
-                safety_margin_bps=self.consolidator.safety_margin_bps,
-                switch_model=self.consolidator.switch_model,
-                link_model=self.consolidator.link_model,
-                time_limit_s=self.milp_fallback_time_limit_s,
-            )
-            result = fallback.consolidate(predicted, 1.0)
-            self.milp_fallback_count += 1
+        result, used_fallback = self._solve(predicted)
 
         plan = ReconfigurationPlan(
             rules=diff_routings(self._routing, result.routing),
@@ -162,15 +248,7 @@ class SdnController:
         # First epoch turns everything listed "on" from an assumed
         # all-on boot state; only count transitions after that.
         if self._subnet is not None:
-            n_on = len(plan.devices.switches_to_on)
-            self.switch_power_on_count += n_on
-            # Transition overhead (Section IV-B): a switch draws power
-            # for the full 72.52 s boot before it can forward, and the
-            # 'backup path' mitigation keeps the switches being retired
-            # alive for the same interval.  Charge both sides.
-            switch_watts = self.consolidator.switch_model.power(True)
-            overlap = n_on + len(plan.devices.switches_to_off)
-            self.transition_energy_joules += overlap * switch_watts * SWITCH_POWER_ON_S
+            self._charge_transitions(plan.devices)
 
         self._routing = result.routing
         self._subnet = result.subnet
@@ -179,6 +257,162 @@ class SdnController:
             result=result,
             plan=plan,
             predicted_total_demand_bps=predicted.total_demand_bps(),
+            requested_scale_factor=self.scale_factor,
+            milp_fallback=used_fallback,
         )
         self._epoch += 1
         return outcome
+
+    # -- failure handling ---------------------------------------------------------------
+
+    def handle_recoveries(self, switches=(), links=()) -> None:
+        """Mark devices repaired: they become available (but stay off
+        until an optimization epoch powers them back on)."""
+        self.failed_switches -= set(switches)
+        self.failed_links -= {canonical_link(u, v) for u, v in links}
+
+    def _backup_switches(self, subnet: ActiveSubnet, routing: Routing) -> int:
+        """Switches on in ``subnet`` that carry no routed flow — spare
+        capacity deliberately kept alive."""
+        used = set()
+        topo = subnet.topology
+        for _, path in routing.items():
+            for node in path:
+                if topo.is_switch(node):
+                    used.add(node)
+        return len(subnet.switches_on - used)
+
+    def handle_failures(
+        self, offered_traffic: TrafficSet, switches=(), links=()
+    ) -> RepairOutcome:
+        """Absorb a mid-epoch failure notification.
+
+        Prunes the dead devices from the active subnet, then walks the
+        degradation ladder (local repair → re-consolidation → safe
+        mode) until the stranded flows of ``offered_traffic`` are all
+        re-routed.  Raises :class:`~repro.errors.InfeasibleError` only
+        when even the all-on safe mode cannot carry the demand.
+        """
+        switches = frozenset(switches)
+        links = frozenset(canonical_link(u, v) for u, v in links)
+        self.failed_switches |= switches
+        self.failed_links |= links
+
+        if self._subnet is None or self._routing is None:
+            outcome = RepairOutcome(
+                epoch=self._epoch,
+                mode=REPAIR_NONE,
+                failed_switches=switches,
+                failed_links=links,
+                n_stranded=0,
+                n_rerouted=0,
+                n_sla_flows_hit=0,
+                recovery_s=0.0,
+                rule_changes=0,
+                switches_powered_on=0,
+                backup_switches=0,
+                transition_energy_j=0.0,
+            )
+            self.resilience.record(outcome)
+            return outcome
+
+        degraded = self._subnet.without(switches, links)
+        stranded = stranded_flows(offered_traffic, self._routing, degraded)
+        n_sla_hit = sum(
+            1 for fid in stranded if offered_traffic[fid].is_latency_sensitive
+        )
+
+        if not stranded:
+            # Dead devices carried nothing; adopt the pruned subnet.
+            self._subnet = degraded
+            outcome = RepairOutcome(
+                epoch=self._epoch,
+                mode=REPAIR_NONE,
+                failed_switches=switches,
+                failed_links=links,
+                n_stranded=0,
+                n_rerouted=0,
+                n_sla_flows_hit=0,
+                recovery_s=DETECTION_S,
+                rule_changes=0,
+                switches_powered_on=0,
+                backup_switches=self._backup_switches(degraded, self._routing),
+                transition_energy_j=0.0,
+            )
+            self.resilience.record(outcome)
+            return outcome
+
+        old_routing = self._routing
+        mode, new_routing, new_subnet = self._repair_ladder(
+            offered_traffic, degraded
+        )
+
+        rule_changes = diff_routings(old_routing, new_routing).n_changes
+        # Transitions are charged against the *degraded* state: the
+        # failed devices are dark already, so only genuinely retired
+        # survivors count as boot-overlap backups.
+        devices = diff_subnets(degraded, new_subnet)
+        joules = self._charge_transitions(devices)
+        n_booted = len(devices.switches_to_on)
+        recovery_s = (
+            DETECTION_S
+            + rule_changes * RULE_INSTALL_S
+            + (SWITCH_POWER_ON_S if n_booted else 0.0)
+        )
+
+        self._routing = new_routing
+        self._subnet = new_subnet
+        outcome = RepairOutcome(
+            epoch=self._epoch,
+            mode=mode,
+            failed_switches=switches,
+            failed_links=links,
+            n_stranded=len(stranded),
+            n_rerouted=len(stranded),
+            n_sla_flows_hit=n_sla_hit,
+            recovery_s=recovery_s,
+            rule_changes=rule_changes,
+            switches_powered_on=n_booted,
+            backup_switches=self._backup_switches(new_subnet, new_routing),
+            transition_energy_j=joules,
+        )
+        self.resilience.record(outcome)
+        return outcome
+
+    def _repair_ladder(
+        self, offered_traffic: TrafficSet, degraded: ActiveSubnet
+    ) -> tuple[str, Routing, ActiveSubnet]:
+        """(mode, routing, subnet) from the first rung that succeeds."""
+        try:
+            repair = local_repair(
+                degraded,
+                offered_traffic,
+                self._routing,
+                scale_factor=1.0,
+                safety_margin_bps=self.consolidator.safety_margin_bps,
+                failed_links=frozenset(self.failed_links),
+            )
+            return REPAIR_LOCAL, repair.routing, repair.subnet
+        except InfeasibleError:
+            pass
+
+        predicted = self.monitor.predicted_traffic(offered_traffic)
+        try:
+            result, _ = self._solve(predicted)
+            return REPAIR_RECONSOLIDATE, result.routing, result.subnet
+        except InfeasibleError:
+            pass
+
+        # Safe mode: every healthy device on, bandwidth-only routing.
+        from ..consolidation.heuristic import route_on_subnet
+
+        safe_subnet = self.consolidator.topology.full_subnet().without(
+            self.failed_switches, self.failed_links
+        )
+        result = route_on_subnet(
+            safe_subnet,
+            predicted,
+            scale_factor=1.0,
+            safety_margin_bps=self.consolidator.safety_margin_bps,
+        )
+        return REPAIR_SAFE_MODE, result.routing, result.subnet

@@ -83,3 +83,17 @@ class TrafficMonitor:
     def forget(self, flow_id: str) -> None:
         """Drop a departed flow's history."""
         self._predictors.pop(flow_id, None)
+
+    def prune(self, active_flow_ids) -> int:
+        """Forget every tracked flow not in ``active_flow_ids``.
+
+        Called by the controller each epoch with the offered traffic's
+        flow ids; without it, churned-out flows leak predictors (and
+        their sample windows) for the lifetime of the run.  Returns the
+        number of predictors dropped.
+        """
+        active = set(active_flow_ids)
+        departed = [fid for fid in self._predictors if fid not in active]
+        for fid in departed:
+            del self._predictors[fid]
+        return len(departed)

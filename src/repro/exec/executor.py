@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -145,7 +146,21 @@ def run_sweep(
                     for i in misses
                 ]
                 for i, future in zip(misses, futures):
-                    outcomes[i] = future.result()
+                    try:
+                        outcomes[i] = future.result()
+                    except BrokenProcessPool as err:
+                        # A worker died hard (OOM kill, segfault,
+                        # os._exit) and took the pool with it; every
+                        # still-pending future raises this.  Convert
+                        # each affected task to an error outcome — a
+                        # sweep must never return None entries or let
+                        # one dead worker raise past a 200-point run.
+                        outcomes[i] = TaskOutcome(
+                            task=tasks[i],
+                            status="error",
+                            error=str(err) or "process pool terminated abruptly",
+                            error_type="BrokenProcessPool",
+                        )
         else:
             with use_context(ctx):
                 for i in misses:

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 from ..consolidation.elastictree import ElasticTreeConsolidator
 from ..consolidation.heuristic import GreedyConsolidator, route_on_subnet
+from ..control.controller import SdnController
 from ..control.latency_monitor import LatencyMonitor
 from ..core.joint import JointEvaluation, JointSimParams, evaluate_operating_point
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, InfeasibleError
+from ..faults import FaultInjector, FaultSchedule
 from ..netsim.network import NetworkModel
 from ..policies.eprons_server import EpronsServerGovernor
 from ..policies.maxfreq import MaxFrequencyGovernor
@@ -43,6 +45,7 @@ __all__ = [
     "governor_factory",
     "workload_for",
     "consolidate_op",
+    "failure_run_op",
     "server_sim_op",
     "joint_eval_op",
     "network_latency_summary_op",
@@ -137,6 +140,96 @@ def consolidate_op(
 def _cached_consolidation(**spec):
     """Worker-side cached consolidation solve (shared across figures)."""
     return cached_call("consolidate", **spec)
+
+
+# -- failure injection -------------------------------------------------------------
+
+
+@task_fn("failure-run")
+def failure_run_op(
+    *,
+    arity: int,
+    scheme: str,
+    scale_factor: float,
+    background: float,
+    n_epochs: int,
+    switch_fail_prob: float,
+    link_fail_prob: float,
+    mean_repair_epochs: float,
+    traffic_seed: int,
+    fault_seed: int,
+) -> dict:
+    """Run the controller through a seeded fault schedule and summarize
+    its resilience — the failure-sweep unit of work.
+
+    Per epoch: recovered devices come back to the available pool, the
+    optimizer runs (routing around anything still failed), then the
+    epoch's failures land mid-epoch and the controller walks its repair
+    ladder.  An epoch whose optimization cannot be packed at all keeps
+    the previous configuration ("deferred").  Everything is rebuilt
+    deterministically from the spec, so results cache across sweeps.
+    """
+    workload = workload_for(arity)
+    topo = workload.topology
+    traffic = workload.traffic(background, seed_or_rng=traffic_seed)
+    schedule = FaultSchedule.generate(
+        topo,
+        n_epochs,
+        switch_fail_prob=switch_fail_prob,
+        link_fail_prob=link_fail_prob,
+        mean_repair_epochs=mean_repair_epochs,
+        seed=fault_seed,
+    )
+    injector = FaultInjector(topo, schedule)
+    if scheme == "greedy":
+        consolidator = GreedyConsolidator(topo)
+    elif scheme == "elastictree":
+        consolidator = ElasticTreeConsolidator(topo)
+    else:
+        raise ConfigurationError(f"unknown consolidation scheme {scheme!r}")
+    controller = SdnController(
+        consolidator, scale_factor=scale_factor, milp_fallback_time_limit_s=60.0
+    )
+    switches_on: list[int] = []
+    deferred = unrecovered = 0
+    for epoch in range(n_epochs):
+        update = injector.advance(epoch)
+        if update.any_recoveries:
+            controller.handle_recoveries(
+                update.recovered_switches, update.recovered_links
+            )
+        try:
+            out = controller.run_epoch(traffic)
+            switches_on.append(out.result.n_switches_on)
+        except InfeasibleError:
+            deferred += 1
+        if update.any_failures:
+            try:
+                controller.handle_failures(
+                    traffic,
+                    switches=update.failed_switches,
+                    links=update.failed_links,
+                )
+            except InfeasibleError:
+                # Even safe mode cannot carry the demand: flows stay
+                # stranded until devices recover.
+                unrecovered += 1
+    summary = controller.resilience.summary()
+    summary.update(
+        {
+            "n_faults": schedule.n_failures,
+            "epochs_run": len(switches_on),
+            "deferred_epochs": deferred,
+            "unrecovered_notifications": unrecovered,
+            "avg_switches_on": (
+                sum(switches_on) / len(switches_on) if switches_on else 0.0
+            ),
+            "switch_power_ons": controller.switch_power_on_count,
+            "controller_transition_energy_j": controller.transition_energy_joules,
+            "milp_fallbacks": controller.milp_fallback_count,
+        }
+    )
+    return summary
 
 
 # -- server simulation -------------------------------------------------------------

@@ -14,6 +14,7 @@ from . import (  # noqa: F401  (imported for registry side effects)
     adaptive_k,
     churn,
     datacenter_scale,
+    failures,
     fig01_knee,
     fig02_scale_factor,
     fig04_violation_prob,

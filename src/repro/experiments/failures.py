@@ -1,0 +1,115 @@
+"""Resilience under device failures: recovery time vs consolidation.
+
+EPRONS consolidates aggressively, which strips the fabric of exactly
+the redundancy that makes failures cheap to survive.  This experiment
+quantifies that tension: the controller runs a day of epochs under a
+seeded fault schedule (switch and link fail/recover events), and we
+sweep the per-epoch failure rate against the scale factor K and the
+consolidation policy (latency-aware greedy vs the bandwidth-only
+ElasticTree baseline).
+
+For every fault notification the controller walks its degradation
+ladder — no-boot local repair, full re-consolidation, all-on safe mode
+— and the resilience log records where it landed and how long traffic
+was exposed.  Larger K (more spread, more backup capacity held on)
+should convert slow booting repairs into fast local ones; that
+recovery-time/energy trade is the figure.
+"""
+
+from __future__ import annotations
+
+from ..exec import SweepTask, run_sweep
+from ..units import to_kwh
+from .runner import ExperimentResult, register
+
+__all__ = ["run"]
+
+DEFAULT_FAIL_RATES = (0.01, 0.03, 0.06)
+
+
+def run(
+    fail_rates=DEFAULT_FAIL_RATES,
+    scale_factors=(1.0, 3.0),
+    policies=("greedy", "elastictree"),
+    n_epochs: int = 48,
+    background: float = 0.15,
+    mean_repair_epochs: float = 2.0,
+    traffic_seed: int = 1,
+    fault_seed: int = 7,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        figure="failures",
+        title="Failure recovery vs consolidation aggressiveness",
+        columns=(
+            "policy",
+            "K",
+            "fail_rate",
+            "faults",
+            "repairs",
+            "local",
+            "reconsolidate",
+            "safe_mode",
+            "mean_recovery_s",
+            "max_recovery_s",
+            "sla_flows_hit",
+            "backup_switches",
+            "avg_switches_on",
+            "transition_kwh",
+            "deferred_epochs",
+        ),
+        notes=(
+            "Each row replays the same seeded fault schedule. Local repairs "
+            "recover at rule-install speed (~2 s incl. detection); any rung "
+            "that boots a switch pays the measured 72.52 s power-on. "
+            "ElasticTree rows ignore K (bandwidth-only, K=1). Transition "
+            "energy covers repair-driven boots and the epoch churn they "
+            "cause."
+        ),
+    )
+    tasks = []
+    for policy in policies:
+        ks = scale_factors if policy == "greedy" else (1.0,)
+        for k in ks:
+            for rate in fail_rates:
+                tasks.append(
+                    SweepTask.make(
+                        "failure-run",
+                        tag=(policy, k, rate),
+                        arity=4,
+                        scheme=policy,
+                        scale_factor=k,
+                        background=background,
+                        n_epochs=n_epochs,
+                        switch_fail_prob=rate,
+                        link_fail_prob=rate,
+                        mean_repair_epochs=mean_repair_epochs,
+                        traffic_seed=traffic_seed,
+                        fault_seed=fault_seed,
+                    )
+                )
+    for outcome in run_sweep(tasks):
+        policy, k, rate = outcome.task.tag
+        s = outcome.unwrap()
+        result.add(
+            policy,
+            k,
+            rate,
+            s["n_faults"],
+            s["n_repairs"],
+            s["n_local"],
+            s["n_reconsolidate"],
+            s["n_safe_mode"],
+            round(s["mean_recovery_s"], 3),
+            round(s["max_recovery_s"], 3),
+            s["total_sla_flows_hit"],
+            round(s["mean_backup_switches"], 2),
+            round(s["avg_switches_on"], 2),
+            to_kwh(s["controller_transition_energy_j"]),
+            s["deferred_epochs"],
+        )
+    return result
+
+
+@register("failures")
+def default() -> ExperimentResult:
+    return run()

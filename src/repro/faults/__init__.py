@@ -1,0 +1,28 @@
+"""Fault injection and graceful degradation for the control plane."""
+
+from .injector import FaultEvent, FaultInjector, FaultSchedule, FaultUpdate
+from .metrics import (
+    DETECTION_S,
+    REPAIR_LOCAL,
+    REPAIR_NONE,
+    REPAIR_RECONSOLIDATE,
+    REPAIR_SAFE_MODE,
+    RULE_INSTALL_S,
+    RepairOutcome,
+    ResilienceLog,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultUpdate",
+    "FaultInjector",
+    "RepairOutcome",
+    "ResilienceLog",
+    "DETECTION_S",
+    "RULE_INSTALL_S",
+    "REPAIR_NONE",
+    "REPAIR_LOCAL",
+    "REPAIR_RECONSOLIDATE",
+    "REPAIR_SAFE_MODE",
+]

@@ -1,0 +1,256 @@
+"""Deterministic switch/link fault schedules and their replay.
+
+EPRONS's deployment story hinges on surviving reconfiguration and
+device failure (Section IV-B measures a 72.52 s switch power-on and
+keeps retiring switches alive on backup paths).  This module supplies
+the *workload* side of that story: a :class:`FaultSchedule` is a
+picklable, seed-deterministic list of fail/recover events over
+controller epochs, and a :class:`FaultInjector` replays it, tracking
+which devices are currently dead.
+
+Faults are restricted to devices the model can route around: agg/core
+switches and switch-to-switch links.  An edge switch (or an access
+link) takes its servers down with it — servers are never powered off in
+EPRONS, so such faults are outside the model and the generator never
+emits them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..topology.graph import Link, NodeKind, Topology, canonical_link
+
+__all__ = ["FaultEvent", "FaultSchedule", "FaultUpdate", "FaultInjector"]
+
+KIND_SWITCH = "switch"
+KIND_LINK = "link"
+ACTION_FAIL = "fail"
+ACTION_RECOVER = "recover"
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One device state change at the start of one epoch."""
+
+    epoch: int
+    kind: str  # "switch" | "link"
+    target: object  # switch name | canonical link tuple
+    action: str  # "fail" | "recover"
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ConfigurationError(f"event epoch must be >= 0, got {self.epoch}")
+        if self.kind not in (KIND_SWITCH, KIND_LINK):
+            raise ConfigurationError(f"unknown fault kind {self.kind!r}")
+        if self.action not in (ACTION_FAIL, ACTION_RECOVER):
+            raise ConfigurationError(f"unknown fault action {self.action!r}")
+
+
+def _injectable(topology: Topology) -> tuple[list[str], list[Link]]:
+    """(switches, links) eligible for fault injection, sorted."""
+    attachment_switches = {topology.attachment_switch(h) for h in topology.hosts}
+    switches = [
+        s
+        for s in topology.switches
+        if s not in attachment_switches and topology.kind(s) != NodeKind.EDGE
+    ]
+    links = [
+        (u, v)
+        for u, v in topology.links
+        if topology.is_switch(u) and topology.is_switch(v)
+    ]
+    return switches, links
+
+
+class FaultSchedule:
+    """An ordered, replayable list of :class:`FaultEvent`.
+
+    Plain data (events only) — picklable, so fault scenarios travel
+    through the sweep executor and hash stably into its result cache.
+    """
+
+    def __init__(self, events=()):
+        self.events: tuple[FaultEvent, ...] = tuple(sorted(events))
+        seen_fail: dict[tuple, int] = {}
+        for ev in self.events:
+            key = (ev.kind, ev.target)
+            if ev.action == ACTION_FAIL:
+                if seen_fail.get(key, -1) >= 0:
+                    raise ConfigurationError(
+                        f"{ev.kind} {ev.target!r} fails twice without recovering"
+                    )
+                seen_fail[key] = ev.epoch
+            else:
+                if seen_fail.get(key, -1) < 0:
+                    raise ConfigurationError(
+                        f"{ev.kind} {ev.target!r} recovers before failing"
+                    )
+                seen_fail[key] = -1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultSchedule) and self.events == other.events
+
+    def events_at(self, epoch: int) -> tuple[FaultEvent, ...]:
+        return tuple(ev for ev in self.events if ev.epoch == epoch)
+
+    @property
+    def n_failures(self) -> int:
+        return sum(1 for ev in self.events if ev.action == ACTION_FAIL)
+
+    @classmethod
+    def generate(
+        cls,
+        topology: Topology,
+        n_epochs: int,
+        switch_fail_prob: float = 0.0,
+        link_fail_prob: float = 0.0,
+        mean_repair_epochs: float = 2.0,
+        seed: int = 0,
+    ) -> "FaultSchedule":
+        """A seed-deterministic schedule over ``n_epochs``.
+
+        Each epoch, every currently-healthy injectable device fails
+        independently with its per-epoch probability; a failed device
+        recovers after ``1 + Geometric(1/mean_repair_epochs)`` epochs.
+        Candidates are visited in sorted order, so the same seed always
+        yields the same schedule regardless of topology object
+        identity.
+        """
+        if n_epochs <= 0:
+            raise ConfigurationError("schedule needs at least one epoch")
+        for name, p in (("switch", switch_fail_prob), ("link", link_fail_prob)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} fail probability {p} outside [0, 1]")
+        if mean_repair_epochs < 1.0:
+            raise ConfigurationError("mean repair time must be >= 1 epoch")
+        rng = np.random.default_rng(seed)
+        switches, links = _injectable(topology)
+        events: list[FaultEvent] = []
+        down_until: dict[tuple, int] = {}
+        p_repair = 1.0 / mean_repair_epochs
+        for epoch in range(n_epochs):
+            for kind, targets, p in (
+                (KIND_SWITCH, switches, switch_fail_prob),
+                (KIND_LINK, links, link_fail_prob),
+            ):
+                for target in targets:
+                    key = (kind, target)
+                    recovery = down_until.get(key)
+                    if recovery is not None:
+                        if epoch < recovery:
+                            continue
+                        del down_until[key]
+                        if epoch == recovery:
+                            # Recovers at the start of this epoch;
+                            # eligible to fail again from the next one
+                            # (keeps fail/recover for one device in
+                            # distinct epochs).
+                            continue
+                    if p > 0.0 and rng.random() < p:
+                        repair = 1 + int(rng.geometric(p_repair))
+                        events.append(FaultEvent(epoch, kind, target, ACTION_FAIL))
+                        events.append(
+                            FaultEvent(epoch + repair, kind, target, ACTION_RECOVER)
+                        )
+                        down_until[key] = epoch + repair
+        return cls(events)
+
+
+@dataclass(frozen=True)
+class FaultUpdate:
+    """What one epoch's replay step changed."""
+
+    epoch: int
+    failed_switches: frozenset[str]
+    failed_links: frozenset[Link]
+    recovered_switches: frozenset[str]
+    recovered_links: frozenset[Link]
+
+    @property
+    def any_failures(self) -> bool:
+        return bool(self.failed_switches or self.failed_links)
+
+    @property
+    def any_recoveries(self) -> bool:
+        return bool(self.recovered_switches or self.recovered_links)
+
+
+class FaultInjector:
+    """Replays a :class:`FaultSchedule`, tracking the currently-dead set.
+
+    ``advance(epoch)`` must be called with strictly increasing epochs;
+    it applies the epoch's events and returns the :class:`FaultUpdate`.
+    Replay is pure — two injectors over the same schedule produce
+    identical updates.
+    """
+
+    def __init__(self, topology: Topology, schedule: FaultSchedule):
+        inj_switches, inj_links = _injectable(topology)
+        inj_switches, inj_links = set(inj_switches), set(inj_links)
+        for ev in schedule:
+            if ev.kind == KIND_SWITCH and ev.target not in inj_switches:
+                raise ConfigurationError(
+                    f"switch {ev.target!r} is not injectable (unknown, edge, or "
+                    "hosts attach to it)"
+                )
+            if ev.kind == KIND_LINK and tuple(ev.target) not in inj_links:
+                raise ConfigurationError(
+                    f"link {ev.target!r} is not injectable (unknown or an access link)"
+                )
+        self.topology = topology
+        self.schedule = schedule
+        self._failed_switches: set[str] = set()
+        self._failed_links: set[Link] = set()
+        self._next_epoch = 0
+
+    @property
+    def failed_switches(self) -> frozenset[str]:
+        return frozenset(self._failed_switches)
+
+    @property
+    def failed_links(self) -> frozenset[Link]:
+        return frozenset(self._failed_links)
+
+    def advance(self, epoch: int) -> FaultUpdate:
+        """Apply the events scheduled for ``epoch``."""
+        if epoch < self._next_epoch:
+            raise ConfigurationError(
+                f"injector already advanced past epoch {epoch} "
+                f"(next is {self._next_epoch})"
+            )
+        self._next_epoch = epoch + 1
+        failed_sw, failed_ln = set(), set()
+        recovered_sw, recovered_ln = set(), set()
+        for ev in self.schedule.events_at(epoch):
+            if ev.kind == KIND_SWITCH:
+                if ev.action == ACTION_FAIL:
+                    self._failed_switches.add(ev.target)
+                    failed_sw.add(ev.target)
+                else:
+                    self._failed_switches.discard(ev.target)
+                    recovered_sw.add(ev.target)
+            else:
+                link = canonical_link(*ev.target)
+                if ev.action == ACTION_FAIL:
+                    self._failed_links.add(link)
+                    failed_ln.add(link)
+                else:
+                    self._failed_links.discard(link)
+                    recovered_ln.add(link)
+        return FaultUpdate(
+            epoch=epoch,
+            failed_switches=frozenset(failed_sw),
+            failed_links=frozenset(failed_ln),
+            recovered_switches=frozenset(recovered_sw),
+            recovered_links=frozenset(recovered_ln),
+        )

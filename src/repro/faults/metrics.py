@@ -1,0 +1,136 @@
+"""Resilience accounting for mid-epoch failure handling.
+
+One :class:`RepairOutcome` records how the controller survived one
+fault notification — which rung of the degradation ladder it landed on,
+how long traffic was exposed, and what the repair cost in rules,
+transitions and standby power.  :class:`ResilienceLog` accumulates them
+over a run and summarizes.
+
+Timing model (documented assumptions, all overridable constants):
+
+* **detection** — the controller learns of a failure at its next
+  2-second statistics poll (:data:`DETECTION_S`, the paper's POX poll
+  period);
+* **rule install** — each OpenFlow rule change costs
+  :data:`RULE_INSTALL_S` (flow-mod round-trip, a few milliseconds);
+* **switch boot** — any repair that powers a switch on waits the
+  measured 72.52 s power-on latency
+  (:data:`~repro.control.controller.SWITCH_POWER_ON_S`) before the new
+  paths can carry traffic.
+
+A *local* repair therefore recovers in seconds; an escalation that must
+boot switches is three orders of magnitude slower — exactly the margin
+the paper's backup-path mitigation buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..topology.graph import Link
+
+__all__ = [
+    "DETECTION_S",
+    "RULE_INSTALL_S",
+    "REPAIR_NONE",
+    "REPAIR_LOCAL",
+    "REPAIR_RECONSOLIDATE",
+    "REPAIR_SAFE_MODE",
+    "RepairOutcome",
+    "ResilienceLog",
+]
+
+#: Worst-case failure-detection latency: one statistics-poll period.
+DETECTION_S = 2.0
+
+#: Per-rule OpenFlow install latency during reconvergence.
+RULE_INSTALL_S = 0.005
+
+REPAIR_NONE = "none"
+REPAIR_LOCAL = "local"
+REPAIR_RECONSOLIDATE = "reconsolidate"
+REPAIR_SAFE_MODE = "safe-mode"
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """How one fault notification was absorbed."""
+
+    epoch: int
+    mode: str  # one of the REPAIR_* constants
+    failed_switches: frozenset[str]
+    failed_links: frozenset[Link]
+    n_stranded: int
+    n_rerouted: int
+    n_sla_flows_hit: int  # stranded latency-sensitive flows
+    recovery_s: float  # detection -> traffic restored
+    rule_changes: int
+    switches_powered_on: int
+    backup_switches: int  # on after repair but carrying no flow
+    transition_energy_j: float
+
+    @property
+    def booted(self) -> bool:
+        return self.switches_powered_on > 0
+
+
+@dataclass
+class ResilienceLog:
+    """Accumulated repair outcomes for one controller run."""
+
+    outcomes: list[RepairOutcome] = field(default_factory=list)
+
+    def record(self, outcome: RepairOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def count(self, mode: str) -> int:
+        return sum(1 for o in self.outcomes if o.mode == mode)
+
+    @property
+    def n_events(self) -> int:
+        """Fault notifications that found flows to repair."""
+        return sum(1 for o in self.outcomes if o.mode != REPAIR_NONE)
+
+    @property
+    def total_stranded(self) -> int:
+        return sum(o.n_stranded for o in self.outcomes)
+
+    @property
+    def total_sla_flows_hit(self) -> int:
+        return sum(o.n_sla_flows_hit for o in self.outcomes)
+
+    @property
+    def total_transition_energy_j(self) -> float:
+        return sum(o.transition_energy_j for o in self.outcomes)
+
+    def mean_recovery_s(self) -> float:
+        repairs = [o.recovery_s for o in self.outcomes if o.mode != REPAIR_NONE]
+        return sum(repairs) / len(repairs) if repairs else 0.0
+
+    def max_recovery_s(self) -> float:
+        repairs = [o.recovery_s for o in self.outcomes if o.mode != REPAIR_NONE]
+        return max(repairs) if repairs else 0.0
+
+    def mean_backup_switches(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.backup_switches for o in self.outcomes) / len(self.outcomes)
+
+    def summary(self) -> dict:
+        """Picklable aggregate (the sweep-executor payload)."""
+        return {
+            "n_notifications": len(self.outcomes),
+            "n_repairs": self.n_events,
+            "n_local": self.count(REPAIR_LOCAL),
+            "n_reconsolidate": self.count(REPAIR_RECONSOLIDATE),
+            "n_safe_mode": self.count(REPAIR_SAFE_MODE),
+            "total_stranded": self.total_stranded,
+            "total_sla_flows_hit": self.total_sla_flows_hit,
+            "mean_recovery_s": self.mean_recovery_s(),
+            "max_recovery_s": self.max_recovery_s(),
+            "mean_backup_switches": self.mean_backup_switches(),
+            "transition_energy_j": self.total_transition_energy_j,
+        }

@@ -278,6 +278,50 @@ class ActiveSubnet:
 
     # -- set algebra --------------------------------------------------------------
 
+    def without(
+        self,
+        switches: Iterable[str] = (),
+        links: Iterable[Link] = (),
+    ) -> "ActiveSubnet":
+        """Subnet surgery: this subnet with the given devices removed.
+
+        Models device *failure*: the named switches/links go dark, every
+        link incident to a removed switch goes with it, and switches
+        left with no active link cascade off (the subnet invariant —
+        an on switch must have an on link — would reject them anyway).
+        Raises :class:`~repro.errors.ConfigurationError` when removal
+        would sever a host's attachment link; EPRONS never powers
+        servers off, so an edge-switch failure that strands a host is
+        outside the model (the fault injector never generates one).
+        """
+        dead_switches = frozenset(switches) & self.switches_on
+        dead_links = {canonical_link(u, v) for u, v in links} & self.links_on
+        topo = self.topology
+        attachment = {
+            canonical_link(h, topo.attachment_switch(h)): h for h in topo.hosts
+        }
+        switches_on = set(self.switches_on) - dead_switches
+        links_on = {
+            (u, v)
+            for u, v in self.links_on
+            if (u, v) not in dead_links
+            and u not in dead_switches
+            and v not in dead_switches
+        }
+        for link in (self.links_on - links_on) & set(attachment):
+            raise ConfigurationError(
+                f"removing link {link} would strand host {attachment[link]!r}"
+            )
+        # Cascade: a switch whose links all died cannot stay on.
+        changed = True
+        while changed:
+            changed = False
+            for sw in sorted(switches_on):
+                if not any(link in links_on for link in topo.switch_links(sw)):
+                    switches_on.discard(sw)
+                    changed = True
+        return ActiveSubnet(topo, frozenset(switches_on), frozenset(links_on))
+
     def union(self, other: "ActiveSubnet") -> "ActiveSubnet":
         """Subnet with the union of both on-sets (same topology)."""
         if other.topology is not self.topology:

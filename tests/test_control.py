@@ -146,3 +146,74 @@ class TestSdnController:
         ctrl = self.make(ft4)
         with pytest.raises(ConfigurationError):
             ctrl.set_scale_factor(0.9)
+
+    def test_off_only_transition_charges_no_energy(self, ft4):
+        """Regression: shrinking the subnet boots nothing, so there is
+        no 72.52 s overlap window and no transition energy — the old
+        accounting charged the retiring switches unconditionally."""
+        traffic = combined_traffic(ft4, ft4.hosts[0], 0.2, seed_or_rng=1)
+        ctrl = self.make(ft4, scale_factor=4.0)
+        ctrl.run_epoch(traffic)
+        ctrl.set_scale_factor(1.0)
+        out = ctrl.run_epoch(traffic)
+        assert not out.plan.devices.switches_to_on
+        assert out.plan.devices.switches_to_off  # strictly shrinking
+        assert ctrl.transition_energy_joules == 0.0
+        assert ctrl.switch_power_on_count == 0
+
+    def test_boot_transition_charges_on_and_off_side(self, ft4):
+        """Growing the subnet charges both the booting switches and the
+        retired ones held alive as backups over the boot window."""
+        traffic = combined_traffic(ft4, ft4.hosts[0], 0.2, seed_or_rng=1)
+        ctrl = self.make(ft4)
+        ctrl.run_epoch(traffic)
+        ctrl.set_scale_factor(4.0)
+        out = ctrl.run_epoch(traffic)
+        devices = out.plan.devices
+        assert devices.switches_to_on
+        watts = ctrl.consolidator.switch_model.power(True)
+        expected = (
+            len(devices.switches_to_on) + len(devices.switches_to_off)
+        ) * watts * SWITCH_POWER_ON_S
+        assert ctrl.transition_energy_joules == pytest.approx(expected)
+
+    def test_departed_flow_predictors_are_pruned(self, ft4, mixed_traffic):
+        """Regression: the monitor used to keep predictors for churned-
+        out flows forever (unbounded growth under churn)."""
+        ctrl = self.make(ft4)
+        ctrl.monitor.observe("ghost-flow", 5e6)
+        live = mixed_traffic.flows[0].flow_id
+        ctrl.monitor.observe(live, 5e6)
+        ctrl.run_epoch(mixed_traffic)
+        assert not ctrl.monitor.has_prediction("ghost-flow")
+        assert ctrl.monitor.has_prediction(live)
+        assert ctrl.monitor.n_tracked_flows() == 1
+
+    def test_outcome_reports_requested_and_effective_k(self, ft4, mixed_traffic):
+        ctrl = self.make(ft4, scale_factor=2.0)
+        out = ctrl.run_epoch(mixed_traffic)
+        assert out.requested_scale_factor == 2.0
+        assert out.effective_scale_factor == out.result.scale_factor
+        assert not out.milp_fallback
+
+    def test_milp_fallback_flagged_with_effective_k(self, ft4):
+        """Regression: a K-sweep row rescued by the MILP fallback ran at
+        K=1, not at the requested K — the outcome must say so."""
+        from repro.errors import InfeasibleError
+
+        class AlwaysStrands(GreedyConsolidator):
+            def consolidate(self, traffic, scale_factor=1.0, **kwargs):
+                raise InfeasibleError("greedy stranded a flow")
+
+        from repro.flows import search_flows
+
+        traffic = search_flows(ft4, aggregator=ft4.hosts[0])
+        ctrl = SdnController(
+            AlwaysStrands(ft4), scale_factor=3.0,
+            milp_fallback_time_limit_s=120.0,
+        )
+        out = ctrl.run_epoch(traffic)
+        assert out.milp_fallback
+        assert out.requested_scale_factor == 3.0
+        assert out.effective_scale_factor == 1.0
+        assert out.scale_degraded

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.errors import InfeasibleError
@@ -27,6 +29,13 @@ def _flaky(*, x):
         raise InfeasibleError("negative load")
     if x > 100:
         raise ValueError("boom")
+    return x
+
+
+@task_fn("test/hard-exit")
+def _hard_exit(*, x):
+    if x == 13:
+        os._exit(1)  # die without cleanup: breaks the process pool
     return x
 
 
@@ -109,6 +118,21 @@ class TestRunSweep:
             [SweepTask.make("test/not-registered", x=1)], ctx=_ctx(tmp_path)
         )
         assert o.status == "error"
+
+    def test_dead_worker_breaks_pool_into_error_outcomes(self, tmp_path):
+        """Regression: a worker dying hard (OOM kill, segfault) used to
+        raise BrokenProcessPool out of ``run_sweep`` with the outcome
+        list half-filled with ``None``; affected tasks must surface as
+        error outcomes instead."""
+        tasks = [SweepTask.make("test/hard-exit", x=x) for x in (13, 1, 2, 3)]
+        outcomes = run_sweep(tasks, ctx=_ctx(tmp_path, jobs=2, cache=False))
+        assert all(o is not None for o in outcomes)
+        assert [o.task for o in outcomes] == tasks
+        assert all(o.status in ("ok", "error") for o in outcomes)
+        broken = [o for o in outcomes if o.error_type == "BrokenProcessPool"]
+        assert broken  # the dead worker's task, at minimum
+        with pytest.raises(SweepExecutionError):
+            broken[0].unwrap()
 
 
 class TestSweepStats:
