@@ -1,0 +1,178 @@
+"""Micro-benchmarks for the tabulated server-sim fast path.
+
+Times fig12-style server-simulation points — a multi-core server under
+a VP governor at a given (utilization, latency constraint) — for both
+the ``tabulated`` (:mod:`repro.simfast`) and ``reference`` governor
+engines, and emits a machine-readable ``BENCH_server.json`` with wall
+times, events/s, decisions/s and the tabulated/reference speedup.
+
+Run as a module (the repository root on ``sys.path`` and ``src`` on
+``PYTHONPATH``)::
+
+    PYTHONPATH=src python -m benchmarks.bench_server --duration 60
+
+Each engine is timed cold (first run in the process — the tabulated
+engine pays VP-table construction, which subsequent same-process runs
+share through :func:`repro.simfast.shared_table_engine`) and warm
+(best of ``--repeats`` further runs).  Both engines must produce
+bit-identical :class:`~repro.sim.runner.ServerSimResult` outputs on
+every point — the benchmark asserts it, the equivalence test suite
+enforces it more broadly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.policies import (
+    EpronsServerGovernor,
+    RubikGovernor,
+    RubikPlusGovernor,
+)
+from repro.server.dvfs import XEON_LADDER
+from repro.server.service import default_service_model
+from repro.sim.runner import ServerSimConfig, run_server_simulation
+from repro.simfast import clear_shared_engines
+
+ENGINES = ("reference", "tabulated")
+
+GOVERNORS = {
+    "rubik": RubikGovernor,
+    "rubik+": RubikPlusGovernor,
+    "eprons-server": EpronsServerGovernor,
+}
+
+#: Fig. 12-style operating points: (governor, utilization, constraint).
+DEFAULT_POINTS = (
+    ("rubik", 0.3, 30e-3),
+    ("eprons-server", 0.3, 30e-3),
+    ("eprons-server", 0.5, 30e-3),
+)
+
+
+def _run_point(governor_cls, service_model, config, engine):
+    """One instrumented run: (result, n_events, n_decisions)."""
+    stats: dict = {}
+    result = run_server_simulation(
+        service_model,
+        lambda: governor_cls(service_model, XEON_LADDER),
+        config,
+        engine=engine,
+        stats_out=stats,
+    )
+    return result, stats["n_events"], stats["n_decisions"]
+
+
+def bench_point(name, utilization, constraint_s, engines, duration_s, n_cores, seed, repeats):
+    service_model = default_service_model()
+    config = ServerSimConfig(
+        utilization=utilization,
+        latency_constraint_s=constraint_s,
+        n_cores=n_cores,
+        duration_s=duration_s,
+        warmup_s=min(duration_s / 3.0, 20.0),
+        seed=seed,
+    )
+    governor_cls = GOVERNORS[name]
+    row = {
+        "governor": name,
+        "utilization": utilization,
+        "constraint_ms": constraint_s * 1e3,
+        "n_cores": n_cores,
+        "duration_s": duration_s,
+        "engines": {},
+    }
+    results = {}
+    for engine in engines:
+        if engine == "tabulated":
+            # Charge the cold run the full table build, as a fresh
+            # worker process would pay it.
+            clear_shared_engines()
+        t0 = time.perf_counter()
+        result, n_events, n_decisions = _run_point(
+            governor_cls, service_model, config, engine
+        )
+        t_cold = time.perf_counter() - t0
+        t_warm = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            again, n_events, n_decisions = _run_point(
+                governor_cls, service_model, config, engine
+            )
+            t_warm = min(t_warm, time.perf_counter() - t0)
+            if again != result:
+                raise AssertionError(f"{name}/{engine}: run-to-run mismatch")
+        results[engine] = result
+        row["engines"][engine] = {
+            "cold_s": t_cold,
+            "warm_s": t_warm,
+            "n_events": n_events,
+            "n_decisions": n_decisions,
+            "events_per_s_warm": n_events / t_warm,
+            "decisions_per_s_warm": n_decisions / t_warm,
+            "cpu_power_w": result.cpu_power_watts,
+            "p95_ms": result.total_latency.p95 * 1e3,
+        }
+    if all(e in results for e in ENGINES):
+        if results["reference"] != results["tabulated"]:
+            raise AssertionError(f"{name}: engines disagree on the simulation result")
+        ref, tab = row["engines"]["reference"], row["engines"]["tabulated"]
+        row["speedups"] = {
+            "cold": ref["cold_s"] / tab["cold_s"],
+            "warm": ref["warm_s"] / tab["warm_s"],
+        }
+    return row
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--engines", nargs="+", default=list(ENGINES), choices=ENGINES)
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument("--n-cores", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single short point (CI smoke): eprons-server only",
+    )
+    parser.add_argument("--out", default="BENCH_server.json")
+    args = parser.parse_args(argv)
+
+    points = DEFAULT_POINTS[1:2] if args.quick else DEFAULT_POINTS
+    duration = min(args.duration, 12.0) if args.quick else args.duration
+
+    results = []
+    for name, utilization, constraint_s in points:
+        row = bench_point(
+            name, utilization, constraint_s, args.engines,
+            duration, args.n_cores, args.seed, args.repeats,
+        )
+        results.append(row)
+        print(f"{name} u={utilization:.0%} L={constraint_s * 1e3:.0f}ms:")
+        for engine, r in row["engines"].items():
+            print(
+                f"  {engine:10s} cold={r['cold_s']:.2f}s warm={r['warm_s']:.2f}s "
+                f"events/s={r['events_per_s_warm']:,.0f} "
+                f"decisions/s={r['decisions_per_s_warm']:,.0f}"
+            )
+        if "speedups" in row:
+            s = row["speedups"]
+            print(f"  speedup    cold={s['cold']:.1f}x warm={s['warm']:.1f}x")
+
+    payload = {
+        "benchmark": "bench_server",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

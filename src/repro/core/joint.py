@@ -42,6 +42,11 @@ class JointSimParams:
     ``sim_cores`` cores are simulated for ``duration_s`` seconds; their
     average per-core power prices all ``n_servers * n_cores_per_server``
     cores in the fleet.
+
+    ``server_engine`` forces the governor decision engine of the
+    embedded server simulation (``"tabulated"`` — the
+    :mod:`repro.simfast` fast path — or ``"reference"``); ``None``
+    keeps each governor's own default.
     """
 
     n_servers: int = 16
@@ -51,12 +56,17 @@ class JointSimParams:
     warmup_s: float = 2.0
     static_watts: float = 20.0
     seed: int = 0
+    server_engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_servers <= 0 or self.n_cores_per_server <= 0 or self.sim_cores <= 0:
             raise ConfigurationError("server/core counts must be positive")
         if not 0.0 <= self.warmup_s < self.duration_s:
             raise ConfigurationError("need 0 <= warmup < duration")
+        if self.server_engine not in (None, "tabulated", "reference"):
+            raise ConfigurationError(
+                f"unknown server engine {self.server_engine!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -119,7 +129,11 @@ def evaluate_operating_point(
         seed=params.seed,
     )
     server = run_server_simulation(
-        workload.service_model, governor_factory, config, network_latency_sampler=sampler
+        workload.service_model,
+        governor_factory,
+        config,
+        network_latency_sampler=sampler,
+        engine=params.server_engine,
     )
 
     per_core = server.cpu_power_watts / params.sim_cores

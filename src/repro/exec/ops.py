@@ -248,6 +248,7 @@ def server_sim_op(
     n_cores: int,
     seed: int,
     sleep: str = "none",
+    engine: str | None = None,
 ) -> ServerSimResult:
     """One server-simulation run (the Fig. 12 unit of work).
 
@@ -255,6 +256,14 @@ def server_sim_op(
     topology routed at ``background`` — the paper's "network is not
     power-managed here" setup; the underlying consolidation solve is
     itself cache-shared with every other figure at the same traffic.
+
+    ``engine`` selects the governor decision engine (``"tabulated"`` /
+    ``"reference"``; ``None`` keeps the governor default, which is
+    tabulated for the VP family).  Tabulated governors fetch their VP
+    tables from the process-wide :func:`repro.simfast.shared_table_engine`
+    registry, so every server-sim task a warm worker executes for the
+    same (service model, ladder) pair reuses one set of tables instead
+    of rebuilding them per point.
     """
     workload = workload_for(arity, constraint_ms)
     consolidation = _cached_consolidation(
@@ -279,6 +288,7 @@ def server_sim_op(
         config,
         network_latency_sampler=sampler,
         sleep_model=_SLEEP_MODELS[sleep],
+        engine=engine,
     )
 
 

@@ -36,6 +36,7 @@ def run(
     duration_s: float = 40.0,
     n_cores: int = 2,
     seed: int = 3,
+    engine: str | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         figure="ablation-server",
@@ -60,6 +61,7 @@ def run(
             warmup_s=min(duration_s / 3.0, 10.0),
             n_cores=n_cores,
             seed=seed,
+            engine=engine,
         )
         for gov in ABLATION_GOVERNORS
         for u in utilizations

@@ -31,7 +31,10 @@ def _scaled_cpu_power(result, n_cores_simulated: int, n_cores_server: int = 12) 
     return result.cpu_power_watts / n_cores_simulated * n_cores_server
 
 
-def _sim_task(tag, governor, utilization, constraint_s, background, duration_s, n_cores, seed):
+def _sim_task(
+    tag, governor, utilization, constraint_s, background, duration_s, n_cores, seed,
+    engine=None,
+):
     return SweepTask.make(
         "server-sim",
         tag=tag,
@@ -44,6 +47,7 @@ def _sim_task(tag, governor, utilization, constraint_s, background, duration_s, 
         warmup_s=min(duration_s / 3.0, 20.0),
         n_cores=n_cores,
         seed=seed,
+        engine=engine,
     )
 
 
@@ -55,8 +59,13 @@ def run_utilization_sweep(
     duration_s: float = 60.0,
     n_cores: int = 2,
     seed: int = 3,
+    engine: str | None = None,
 ) -> ExperimentResult:
-    """Fig. 12(a): CPU power vs utilization per governor."""
+    """Fig. 12(a): CPU power vs utilization per governor.
+
+    ``engine`` forces the governor decision engine (``"tabulated"`` /
+    ``"reference"``) on every point; ``None`` keeps governor defaults.
+    """
     result = ExperimentResult(
         figure="fig12a",
         title="CPU power vs server utilization (30 ms constraint)",
@@ -67,7 +76,10 @@ def run_utilization_sweep(
         ),
     )
     tasks = [
-        _sim_task((gov, u), gov, u, constraint_s, background, duration_s, n_cores, seed)
+        _sim_task(
+            (gov, u), gov, u, constraint_s, background, duration_s, n_cores, seed,
+            engine=engine,
+        )
         for gov in governors
         for u in utilizations
     ]
@@ -92,6 +104,7 @@ def run_constraint_sweep(
     duration_s: float = 60.0,
     n_cores: int = 2,
     seed: int = 3,
+    engine: str | None = None,
 ) -> ExperimentResult:
     """Fig. 12(b): CPU power vs tail-latency constraint at 30% load."""
     result = ExperimentResult(
@@ -105,7 +118,8 @@ def run_constraint_sweep(
     )
     tasks = [
         _sim_task(
-            (gov, L_ms), gov, utilization, L_ms * 1e-3, background, duration_s, n_cores, seed
+            (gov, L_ms), gov, utilization, L_ms * 1e-3, background, duration_s, n_cores,
+            seed, engine=engine,
         )
         for L_ms in constraints_ms
         for gov in governors
@@ -130,6 +144,7 @@ def run_heatmap(
     duration_s: float = 40.0,
     n_cores: int = 2,
     seed: int = 3,
+    engine: str | None = None,
 ) -> ExperimentResult:
     """Fig. 12(c): EPRONS-Server power across (utilization, constraint)."""
     result = ExperimentResult(
@@ -140,7 +155,8 @@ def run_heatmap(
     )
     tasks = [
         _sim_task(
-            (u, L_ms), "eprons-server", u, L_ms * 1e-3, background, duration_s, n_cores, seed
+            (u, L_ms), "eprons-server", u, L_ms * 1e-3, background, duration_s, n_cores,
+            seed, engine=engine,
         )
         for L_ms in constraints_ms
         for u in utilizations

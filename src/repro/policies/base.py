@@ -10,6 +10,19 @@ Governors never see a request's actual work — only the queue's
 deadlines, the in-service request's progress, and the offline service
 model.  That information boundary is what makes the comparison between
 schemes fair.
+
+Model-based governors (:class:`VPGovernor` subclasses) carry two
+interchangeable decision engines:
+
+* ``"tabulated"`` (default) — the :mod:`repro.simfast` fast path:
+  precomputed VP tables answer a decision for the whole queue at all
+  ladder frequencies at once, fed by an incremental deadline mirror
+  the core simulator keeps in sync (no per-event snapshot rebuild);
+* ``"reference"`` — the original per-request mixture evaluation of
+  :mod:`repro.policies.vp_common`, binary-searching the ladder.
+
+Both pick identical frequencies (``tests/test_simfast_equivalence.py``
+enforces it), mirroring ``netfast``'s ``engine=`` contract.
 """
 
 from __future__ import annotations
@@ -17,11 +30,19 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ConfigurationError
+from ..server.distributions import ConvolutionCache
 from ..server.dvfs import FrequencyLadder
 from ..server.service import ServiceModel
+from ..simfast.equivalent import IncrementalEquivalentQueue
+from ..simfast.tables import shared_table_engine
 
-__all__ = ["QueueSnapshot", "Governor", "VPGovernor"]
+__all__ = ["QueueSnapshot", "Governor", "VPGovernor", "DEFAULT_ENGINE"]
+
+#: Engine used by VP governors unless a caller overrides it.
+DEFAULT_ENGINE = "tabulated"
 
 
 @dataclass(frozen=True)
@@ -72,13 +93,17 @@ class Governor(ABC):
     * ``reorders_queue`` — whether the core keeps the waiting queue in
       earliest-deadline-first order for this governor;
     * ``timer_period_s`` — if not ``None``, :meth:`on_timer` fires at
-      this period (feedback-based policies).
+      this period (feedback-based policies);
+    * ``incremental`` — whether the core should maintain this
+      governor's deadline mirror and decide through
+      :meth:`select_frequency_fast` instead of building snapshots.
     """
 
     name: str = "governor"
     network_aware: bool = False
     reorders_queue: bool = False
     timer_period_s: float | None = None
+    incremental: bool = False
 
     @abstractmethod
     def select_frequency(self, snapshot: QueueSnapshot) -> float:
@@ -93,24 +118,116 @@ class Governor(ABC):
 
 class VPGovernor(Governor):
     """Shared machinery for violation-probability-model governors
-    (Rubik, Rubik+, EPRONS-Server).
+    (Rubik, Rubik+, EPRONS-Server and its ablations).
 
-    Holds the service model, the frequency ladder and the SLA's target
-    violation probability (5 % for a 95th-percentile SLA).
+    Holds the service model, the frequency ladder, the SLA's target
+    violation probability (5 % for a 95th-percentile SLA) and the
+    decision engine.  Subclasses configure the policy through class
+    attributes only:
+
+    * ``vp_mode`` — ``"max"`` constrains the limiting request (Rubik),
+      ``"mean"`` the queue average (EPRONS-Server);
+    * the usual ``network_aware`` / ``reorders_queue`` flags.
+
+    Either engine falls back to ``f_max`` when even the top rung cannot
+    meet the target — run flat out and let the tail absorb the burst.
     """
+
+    ENGINES = ("tabulated", "reference")
+
+    #: ``"max"`` (limiting request) or ``"mean"`` (queue average).
+    vp_mode: str = "max"
 
     def __init__(
         self,
         service_model: ServiceModel,
         ladder: FrequencyLadder,
         target_vp: float = 0.05,
+        engine: str = DEFAULT_ENGINE,
     ):
         if not 0.0 < target_vp < 1.0:
             raise ConfigurationError(f"target VP must lie in (0, 1), got {target_vp}")
         self.service_model = service_model
         self.ladder = ladder
         self.target_vp = target_vp
+        self._cache = ConvolutionCache(service_model.distribution)
+        self._mirror = IncrementalEquivalentQueue()
+        self._tables = None
+        #: Decision instants served (either engine); benchmarks read it.
+        self.n_decisions = 0
+        self.set_engine(engine)
+
+    def set_engine(self, engine: str) -> None:
+        """Switch decision engines; the mirror state is engine-agnostic."""
+        if engine not in self.ENGINES:
+            raise ConfigurationError(
+                f"unknown governor engine {engine!r}; expected one of {self.ENGINES}"
+            )
+        self.engine = engine
+        if engine == "tabulated":
+            self._tables = shared_table_engine(self.service_model, self.ladder)
+            self.incremental = True
+        else:
+            self._tables = None
+            self.incremental = False
 
     def work_budget(self, deadline: float, now: float, frequency_hz: float) -> float:
         """ω(D) of Eq. (1): reference work completable before ``deadline``."""
         return self.service_model.frequency_model.work_budget(deadline - now, frequency_hz)
+
+    # -- snapshot path (reference engine; also any out-of-band probe) --------------
+
+    def select_frequency(self, snapshot: QueueSnapshot) -> float:
+        if snapshot.n_requests == 0:
+            return self.ladder.f_min
+        self.n_decisions += 1
+        if self.engine == "tabulated":
+            if snapshot.in_service_deadline is not None:
+                offset = self._tables.head_offset(snapshot.in_service_completed_work or 0.0)
+                deltas = np.empty(1 + len(snapshot.queued_deadlines))
+                deltas[0] = snapshot.in_service_deadline
+                deltas[1:] = snapshot.queued_deadlines
+            else:
+                offset = None
+                deltas = np.asarray(snapshot.queued_deadlines, dtype=float)
+            deltas -= snapshot.now
+            chosen = self._tables.decide(deltas, offset, self.vp_mode, self.target_vp)
+        else:
+            from .vp_common import EquivalentQueue
+
+            eq = EquivalentQueue(snapshot, self.service_model, self._cache)
+            metric = eq.max_vp if self.vp_mode == "max" else eq.average_vp
+            chosen = self.ladder.lowest_satisfying(lambda f: metric(f) <= self.target_vp)
+        return chosen if chosen is not None else self.ladder.f_max
+
+    # -- incremental path (tabulated engine under a CoreSimulator) -----------------
+    #
+    # The core calls the three mirror hooks on every queue transition and
+    # then decides through select_frequency_fast — same floats as the
+    # snapshot path, without rebuilding deadline tuples per decision.
+
+    def on_enqueue(self, governor_deadline: float) -> None:
+        if self.reorders_queue:
+            self._mirror.enqueue_sorted(governor_deadline)
+        else:
+            self._mirror.enqueue(governor_deadline)
+
+    def on_service_start(self) -> None:
+        self._mirror.start_service()
+
+    def on_service_end(self) -> None:
+        self._mirror.end_service()
+
+    def select_frequency_fast(self, now: float, in_service_completed: float | None) -> float:
+        mirror = self._mirror
+        if mirror.n_in_system == 0:
+            return self.ladder.f_min
+        self.n_decisions += 1
+        if mirror.in_service_deadline is not None:
+            offset = self._tables.head_offset(in_service_completed or 0.0)
+        else:
+            offset = None
+        chosen = self._tables.decide(
+            mirror.deltas(now), offset, self.vp_mode, self.target_vp
+        )
+        return chosen if chosen is not None else self.ladder.f_max

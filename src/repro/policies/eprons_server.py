@@ -7,8 +7,11 @@ The paper's server-side contribution.  Differences from Rubik:
    VP above 5 % but another sits well below, the tail constraint is
    still met in aggregate.  EPRONS-Server therefore picks the lowest
    frequency whose **average** VP over the queued requests is within
-   the target — always at or below Rubik's choice (Fig. 4's
-   ``f_new <= f2``).
+   the target (``vp_mode = "mean"``) — always at or below Rubik's
+   choice (Fig. 4's ``f_new <= f2``).  Even at ``f_max`` the average VP
+   may exceed the target under a burst; the core then runs flat out and
+   lets the tail absorb it (the slack of later replies compensates, per
+   Section III-A).
 2. **Deadline reordering.**  The waiting queue is kept in earliest-
    deadline-first order, so network slack granted to individual
    requests is consumed where it helps (Section V-B2).
@@ -17,14 +20,13 @@ The paper's server-side contribution.  Differences from Rubik:
 
 The average-VP predicate is monotone in frequency (every VP is
 non-increasing in ``f``), so the ladder binary search of Section III-C
-applies unchanged.
+applies unchanged — as does the tabulated first-true scan, which is
+equivalent on a monotone predicate.
 """
 
 from __future__ import annotations
 
-from ..server.distributions import ConvolutionCache
-from .base import QueueSnapshot, VPGovernor
-from .vp_common import EquivalentQueue
+from .base import VPGovernor
 
 __all__ = ["EpronsServerGovernor"]
 
@@ -35,19 +37,4 @@ class EpronsServerGovernor(VPGovernor):
     name = "eprons-server"
     network_aware = True
     reorders_queue = True
-
-    def __init__(self, service_model, ladder, target_vp: float = 0.05):
-        super().__init__(service_model, ladder, target_vp)
-        self._cache = ConvolutionCache(service_model.distribution)
-
-    def select_frequency(self, snapshot: QueueSnapshot) -> float:
-        if snapshot.n_requests == 0:
-            return self.ladder.f_min
-        eq = EquivalentQueue(snapshot, self.service_model, self._cache)
-        chosen = self.ladder.lowest_satisfying(
-            lambda f: eq.average_vp(f) <= self.target_vp
-        )
-        # Even at f_max the average VP may exceed the target under a
-        # burst; run flat out and let the tail absorb it (the slack of
-        # later replies compensates, per Section III-A).
-        return chosen if chosen is not None else self.ladder.f_max
+    vp_mode = "mean"

@@ -3,9 +3,11 @@
 Rubik (MICRO'15) picks, at every arrival/departure instance, the lowest
 frequency at which *every* queued request's deadline-violation
 probability stays within the SLA — i.e. it constrains the **maximum**
-VP.  The frequency is therefore dictated by the single limiting
-request, and everything else finishes early (the inefficiency Fig. 4
-illustrates).
+VP (``vp_mode = "max"``).  The frequency is therefore dictated by the
+single limiting request, and everything else finishes early (the
+inefficiency Fig. 4 illustrates).  If even ``f_max`` cannot hold every
+request within the SLA the core runs flat out — the least-bad option
+(Rubik does the same).
 
 * **Rubik** is network-oblivious: it assumes the fixed server budget
   (``network_aware = False`` — the simulator gives it
@@ -13,13 +15,14 @@ illustrates).
 * **Rubik+** is the paper's network-aware variant built for a fair
   comparison: identical policy, but the per-request measured network
   slack is folded into the deadlines it sees.
+
+The selection logic lives in :class:`~repro.policies.base.VPGovernor`;
+both decision engines (``"tabulated"``/``"reference"``) apply.
 """
 
 from __future__ import annotations
 
-from ..server.distributions import ConvolutionCache
-from .base import QueueSnapshot, VPGovernor
-from .vp_common import EquivalentQueue
+from .base import VPGovernor
 
 __all__ = ["RubikGovernor", "RubikPlusGovernor"]
 
@@ -30,21 +33,7 @@ class RubikGovernor(VPGovernor):
     name = "rubik"
     network_aware = False
     reorders_queue = False
-
-    def __init__(self, service_model, ladder, target_vp: float = 0.05):
-        super().__init__(service_model, ladder, target_vp)
-        self._cache = ConvolutionCache(service_model.distribution)
-
-    def select_frequency(self, snapshot: QueueSnapshot) -> float:
-        if snapshot.n_requests == 0:
-            return self.ladder.f_min
-        eq = EquivalentQueue(snapshot, self.service_model, self._cache)
-        chosen = self.ladder.lowest_satisfying(
-            lambda f: eq.max_vp(f) <= self.target_vp
-        )
-        # If even f_max cannot hold every request within the SLA, run
-        # flat out — the least-bad option (Rubik does the same).
-        return chosen if chosen is not None else self.ladder.f_max
+    vp_mode = "max"
 
 
 class RubikPlusGovernor(RubikGovernor):

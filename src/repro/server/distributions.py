@@ -41,6 +41,19 @@ DEFAULT_MAX_BINS = 16384
 #: PMF entries below this are treated as zero when trimming.
 _TRIM_EPS = 1e-15
 
+#: Bound on memoized conditional-remaining distributions per base
+#: distribution.  Long-running simulations touch many completed-work
+#: offsets; beyond the cap the oldest entries are evicted (recomputing
+#: an evicted entry reproduces it exactly, so eviction never changes
+#: results).
+DEFAULT_MAX_COND_ENTRIES = 512
+
+#: Bound on memoized k-fold self-convolutions per cache.  Power
+#: distributions form a chain (S_k = S_{k-1} ⊗ base); evicted powers
+#: are rebuilt by convolving up from the highest retained lower power,
+#: which replays the exact original float chain.
+DEFAULT_MAX_POWER_ENTRIES = 128
+
 
 class WorkDistribution:
     """A probability mass function over reference work on a uniform grid.
@@ -219,6 +232,20 @@ class WorkDistribution:
             truncated = True
         return WorkDistribution(self.dx, pmf, truncated=truncated)
 
+    def grid_offset(self, work: float) -> int:
+        """The grid bin nearest ``work`` (round-to-nearest, half up).
+
+        This is the canonical quantization of observed completed work
+        onto the distribution grid, shared by the reference mixture
+        path and the tabulated VP engine so both condition on the same
+        head distribution.  Rounding (rather than truncating) keeps
+        near-identical floats on either side of a bin edge from mapping
+        to different conditioning keys.
+        """
+        if work < 0:
+            raise ConfigurationError("completed work must be non-negative")
+        return int(work / self.dx + 0.5)
+
     def conditional_remaining(self, completed: float) -> "WorkDistribution":
         """Distribution of ``W - completed`` given ``W > completed``.
 
@@ -228,9 +255,12 @@ class WorkDistribution:
         support (an overdue outlier request), returns the most
         conservative in-support answer: the last bin's residual.
         """
-        if completed < 0:
+        return self.conditional_remaining_at(self.grid_offset(completed))
+
+    def conditional_remaining_at(self, k: int) -> "WorkDistribution":
+        """:meth:`conditional_remaining` for an exact grid offset ``k``."""
+        if k < 0:
             raise ConfigurationError("completed work must be non-negative")
-        k = int(completed / self.dx + 1e-9)
         if k <= 0:
             return self
         cached = self._cond_cache.get(k)
@@ -247,6 +277,9 @@ class WorkDistribution:
         # Memoized per grid offset: the same base distribution is
         # re-conditioned at every arrival instance (Section III-C's
         # reuse observation) and offsets repeat heavily across requests.
+        # Bounded FIFO: recomputation is exact, so eviction is safe.
+        if len(self._cond_cache) >= DEFAULT_MAX_COND_ENTRIES:
+            self._cond_cache.pop(next(iter(self._cond_cache)))
         self._cond_cache[k] = result
         return result
 
@@ -264,25 +297,61 @@ class ConvolutionCache:
     ``cache[k]`` is the distribution of the total work of ``k``
     independent requests.  Computed lazily and incrementally — this is
     the reuse optimization of Section III-C.
+
+    The cache is bounded: at most ``max_entries`` powers beyond the
+    always-retained ``k = 0`` and ``k = 1`` are kept, with
+    least-recently-used eviction.  An evicted power is rebuilt by
+    convolving up from the highest retained lower power — the same
+    ``S_k = S_{k-1} ⊗ base`` chain that built it originally, so the
+    floats are reproduced exactly and eviction never changes results.
     """
 
-    def __init__(self, base: WorkDistribution, max_bins: int = DEFAULT_MAX_BINS):
+    def __init__(
+        self,
+        base: WorkDistribution,
+        max_bins: int = DEFAULT_MAX_BINS,
+        max_entries: int = DEFAULT_MAX_POWER_ENTRIES,
+    ):
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be positive")
         self.base = base
         self.max_bins = max_bins
-        self._powers: list[WorkDistribution] = [
-            WorkDistribution.point_mass(base.dx, 0.0),
-            base,
-        ]
+        self.max_entries = max_entries
+        self._zero = WorkDistribution.point_mass(base.dx, 0.0)
+        # Insertion-ordered dict as an LRU over k >= 2 (0 and 1 are
+        # pinned attributes and never evicted).
+        self._powers: dict[int, WorkDistribution] = {}
+
+    def __len__(self) -> int:
+        """Number of cached powers beyond the pinned k = 0, 1."""
+        return len(self._powers)
 
     def power(self, k: int) -> WorkDistribution:
         """The k-fold self-convolution (k >= 0)."""
         if k < 0:
             raise ConfigurationError(f"k must be non-negative, got {k}")
-        while len(self._powers) <= k:
-            self._powers.append(
-                self._powers[-1].convolve(self.base, max_bins=self.max_bins)
-            )
-        return self._powers[k]
+        if k == 0:
+            return self._zero
+        if k == 1:
+            return self.base
+        cached = self._powers.get(k)
+        if cached is not None:
+            # Refresh LRU position.
+            del self._powers[k]
+            self._powers[k] = cached
+            return cached
+        # Build up from the highest cached power below k (falling back
+        # to the base), replaying the original convolution chain.
+        start, current = 1, self.base
+        for kk in self._powers:
+            if start < kk < k:
+                start, current = kk, self._powers[kk]
+        for kk in range(start + 1, k + 1):
+            current = current.convolve(self.base, max_bins=self.max_bins)
+            if len(self._powers) >= self.max_entries:
+                self._powers.pop(next(iter(self._powers)))
+            self._powers[kk] = current
+        return current
 
     def equivalent(self, head: WorkDistribution, k: int) -> WorkDistribution:
         """``head ⊗ base^k`` — the equivalent distribution of the k-th

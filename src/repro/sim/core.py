@@ -44,6 +44,11 @@ class CoreSimulator:
         self.loop = loop
         self.service_model = service_model
         self.governor = governor
+        # Incremental governors (tabulated VP engines) keep their own
+        # deadline mirror: the core feeds queue transitions through the
+        # on_enqueue/on_service_* hooks and decides via
+        # select_frequency_fast, skipping the snapshot rebuild.
+        self._incremental = bool(getattr(governor, "incremental", False))
         self.power_model = power_model or CorePowerModel()
         self.core_id = core_id
         #: Optional :class:`~repro.power.sleep.SleepStateModel` — when
@@ -76,6 +81,8 @@ class CoreSimulator:
         self.queue.append(request)
         if self.governor.reorders_queue:
             self.queue.sort(key=lambda r: (r.governor_deadline, r.rid))
+        if self._incremental:
+            self.governor.on_enqueue(request.governor_deadline)
         if self.in_service is None:
             if self._wake_pending:
                 return  # the scheduled wake will drain the queue
@@ -145,6 +152,12 @@ class CoreSimulator:
         )
 
     def _ask_governor(self) -> float:
+        if self._incremental:
+            in_service = self.in_service
+            return self.governor.select_frequency_fast(
+                self.loop.now,
+                None if in_service is None else in_service.completed_work,
+            )
         return self.governor.select_frequency(self._snapshot())
 
     def _start_next(self) -> None:
@@ -153,6 +166,8 @@ class CoreSimulator:
         if not self.queue:
             return
         request = self.queue.pop(0)
+        if self._incremental:
+            self.governor.on_service_start()
         request.start_time = self.loop.now
         self.in_service = request
         self._service_started_at = self.loop.now
@@ -209,6 +224,8 @@ class CoreSimulator:
         self.in_service = None
         self._service_started_at = None
         self._completion = None
+        if self._incremental:
+            self.governor.on_service_end()
         if self.queue:
             self._start_next()
         else:
@@ -230,7 +247,7 @@ class CoreSimulator:
         self._wake_pending = True
         # The wake transition itself draws idle-level power.
         self.meter.set_power(self.power_model.idle_watts, self.loop.now)
-        self.loop.schedule_after(self.sleep_model.wake_latency_s, self._finish_wake)
+        self.loop.schedule_fast_after(self.sleep_model.wake_latency_s, self._finish_wake)
 
     def _finish_wake(self) -> None:
         self._wake_pending = False
@@ -246,6 +263,6 @@ class CoreSimulator:
             if self.in_service is not None:
                 self._sync_in_service_progress()
                 self._apply_frequency(self._ask_governor())
-            self.loop.schedule_after(period, fire)
+            self.loop.schedule_fast_after(period, fire)
 
-        self.loop.schedule_after(period, fire)
+        self.loop.schedule_fast_after(period, fire)

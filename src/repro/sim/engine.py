@@ -9,6 +9,14 @@ resolved by C-level tuple comparison instead of generated dataclass
 ``__lt__`` calls — the engine's hottest path.  Cancellation is a
 side-table of sequence numbers (events are cheap to schedule, rare to
 cancel), and a live-event set keeps :attr:`EventLoop.n_pending` O(1).
+
+Events that are never cancelled (arrival chains, periodic timers —
+the bulk of a server simulation) can skip the handle machinery
+entirely via :meth:`EventLoop.schedule_fast` /
+:meth:`EventLoop.schedule_fast_after`: no :class:`EventHandle`
+allocation, no live-set bookkeeping per event, just a heap push.  Fast
+and handle-carrying events share one sequence counter, so relative
+firing order is identical whichever variant scheduled them.
 """
 
 from __future__ import annotations
@@ -53,6 +61,8 @@ class EventLoop:
         # not yet popped off the heap.
         self._pending: set[int] = set()
         self._skip: set[int] = set()
+        # Count of live fast-path events (no handle, never cancellable).
+        self._n_fast = 0
 
     @property
     def now(self) -> float:
@@ -67,7 +77,7 @@ class EventLoop:
     @property
     def n_pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return len(self._pending)
+        return len(self._pending) + self._n_fast
 
     def schedule(self, time: float, callback) -> EventHandle:
         """Schedule ``callback()`` at absolute ``time`` (>= now)."""
@@ -84,6 +94,24 @@ class EventLoop:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         return self.schedule(self._now + delay, callback)
+
+    def schedule_fast(self, time: float, callback) -> None:
+        """Schedule a non-cancellable ``callback()`` at absolute ``time``.
+
+        Same ordering semantics as :meth:`schedule` (shared sequence
+        counter) but returns no handle and touches no per-event sets —
+        the cheap variant for events that always fire.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(f"event scheduled in the past: {time} < {self._now}")
+        heapq.heappush(self._heap, (max(time, self._now), next(self._seq), callback))
+        self._n_fast += 1
+
+    def schedule_fast_after(self, delay: float, callback) -> None:
+        """Non-cancellable :meth:`schedule_after`."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule_fast(self._now + delay, callback)
 
     @staticmethod
     def cancel(handle: EventHandle) -> None:
@@ -104,7 +132,10 @@ class EventLoop:
             if seq in self._skip:
                 self._skip.discard(seq)
                 continue
-            self._pending.discard(seq)
+            if seq in self._pending:
+                self._pending.discard(seq)
+            else:
+                self._n_fast -= 1
             self._now = time
             self._n_processed += 1
             callback()
@@ -129,7 +160,10 @@ class EventLoop:
             if seq in skip:
                 skip.discard(seq)
                 continue
-            pending.discard(seq)
+            if seq in pending:
+                pending.discard(seq)
+            else:
+                self._n_fast -= 1
             self._now = time
             self._n_processed += 1
             callback()

@@ -9,7 +9,7 @@ from ..errors import ConfigurationError
 __all__ = ["Request"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One search (sub-)request at a server core.
 

@@ -39,7 +39,9 @@ def constant_latency_sampler(latency_s: float):
         raise ConfigurationError("latency must be non-negative")
 
     def sample(n: int, rng) -> np.ndarray:
-        return np.full(n, latency_s)
+        if n < 0:
+            raise ConfigurationError(f"sample count must be non-negative, got {n}")
+        return np.full(n, latency_s, dtype=float)
 
     return sample
 
@@ -111,6 +113,8 @@ def run_server_simulation(
     governor_name: str | None = None,
     sleep_model=None,
     reply_latency_sampler=None,
+    engine: str | None = None,
+    stats_out: dict | None = None,
 ) -> ServerSimResult:
     """Simulate one server under one governor and one load level.
 
@@ -121,6 +125,16 @@ def run_server_simulation(
     network budget (an uncongested network).  ``sleep_model`` attaches a
     :class:`~repro.power.sleep.SleepStateModel` to every core
     (PowerNap-family baselines and hybrids).
+
+    ``engine`` overrides the decision engine of every governor that
+    supports one (``"tabulated"`` — the :mod:`repro.simfast` fast path
+    — or ``"reference"``); ``None`` keeps each governor's own default.
+    Governors without a ``set_engine`` method (max-frequency, oracle,
+    TimeTrader) ignore the override.
+
+    ``stats_out``, when given a dict, receives run instrumentation
+    (``n_events`` processed by the event loop, ``n_decisions`` made by
+    the governors) — the benchmark's events/s and decisions/s source.
 
     With a ``reply_latency_sampler``, each request also carries a
     reply-path latency: the end-to-end SLA (and the request's actual
@@ -134,15 +148,22 @@ def run_server_simulation(
         network_latency_sampler = constant_latency_sampler(config.network_budget_s / 2.0)
 
     loop = EventLoop()
+
+    def _make_governor():
+        governor = governor_factory()
+        if engine is not None and hasattr(governor, "set_engine"):
+            governor.set_engine(engine)
+        return governor
+
     # The first instance is probed for its class configuration
     # (``network_aware``, ``name``) and then handed to core 0 — calling
     # the factory an extra throwaway time would silently advance
     # stateful factories.
-    probe_governor = governor_factory()
+    probe_governor = _make_governor()
     first_governor = [probe_governor]
 
     def _governor_factory():
-        return first_governor.pop() if first_governor else governor_factory()
+        return first_governor.pop() if first_governor else _make_governor()
 
     server = MultiCoreServer(
         loop,
@@ -159,26 +180,30 @@ def run_server_simulation(
     per_core_rate = service_model.arrival_rate_for_utilization(config.utilization)
     rate = per_core_rate * config.n_cores
 
-    # Pre-draw in chunks to amortize RNG overhead.
+    # Pre-draw in chunks to amortize RNG overhead; the buffers are
+    # converted to plain lists once per refill so the per-arrival reads
+    # are attribute-free C-level indexing (no numpy scalar boxing).
     chunk = 4096
     state = {"rid": 0, "i": chunk}  # force initial refill
-    buffers: dict[str, np.ndarray] = {}
+    buffers: dict[str, list[float]] = {}
 
     def refill() -> None:
-        buffers["gaps"] = arrival_rng.exponential(1.0 / rate, size=chunk)
-        buffers["work"] = service_model.sample_work(chunk, work_rng)
-        buffers["netlat"] = np.asarray(
-            network_latency_sampler(chunk, latency_rng), dtype=float
-        )
+        netlat = np.asarray(network_latency_sampler(chunk, latency_rng), dtype=float)
         if reply_latency_sampler is not None:
-            buffers["replat"] = np.asarray(
-                reply_latency_sampler(chunk, latency_rng), dtype=float
-            )
+            replat = np.asarray(reply_latency_sampler(chunk, latency_rng), dtype=float)
         else:
-            buffers["replat"] = np.zeros(chunk)
-        if np.any(buffers["netlat"] < 0) or np.any(buffers["replat"] < 0):
+            replat = np.zeros(chunk)
+        if np.any(netlat < 0) or np.any(replat < 0):
             raise ConfigurationError("network latency sampler returned negative values")
+        buffers["gaps"] = arrival_rng.exponential(1.0 / rate, size=chunk).tolist()
+        buffers["work"] = np.asarray(
+            service_model.sample_work(chunk, work_rng), dtype=float
+        ).tolist()
+        buffers["netlat"] = netlat.tolist()
+        buffers["replat"] = replat.tolist()
         state["i"] = 0
+
+    network_aware = probe_governor.network_aware
 
     def next_arrival() -> None:
         if state["i"] >= chunk:
@@ -186,20 +211,20 @@ def run_server_simulation(
         i = state["i"]
         state["i"] += 1
         now = loop.now
-        net_latency = float(buffers["netlat"][i])
-        reply_latency = float(buffers["replat"][i])
+        net_latency = buffers["netlat"][i]
+        reply_latency = buffers["replat"][i]
         # Actual SLA deadline covers the full round trip; the governor's
         # deadline never includes the reply (request slack only).
         deadline = now + config.latency_constraint_s - net_latency - reply_latency
         governor_deadline = (
             now + config.latency_constraint_s - net_latency
-            if probe_governor.network_aware
+            if network_aware
             else now + config.server_budget_s
         )
         request = Request(
             rid=state["rid"],
             arrival_time=now,
-            work=float(buffers["work"][i]),
+            work=buffers["work"][i],
             deadline=deadline,
             governor_deadline=governor_deadline,
             network_latency=net_latency,
@@ -207,16 +232,23 @@ def run_server_simulation(
         )
         state["rid"] += 1
         server.submit(request)
-        loop.schedule_after(float(buffers["gaps"][i]), next_arrival)
+        # The arrival chain is never cancelled: skip handle allocation.
+        loop.schedule_fast_after(buffers["gaps"][i], next_arrival)
 
     refill()
-    loop.schedule_after(float(buffers["gaps"][state["i"]]), next_arrival)
+    loop.schedule_fast_after(buffers["gaps"][state["i"]], next_arrival)
     state["i"] += 1
     # Simulate the warmup, then restart the power/busy meters so the
     # reported power is steady-state (feedback governors ramp in).
     loop.run_until(config.warmup_s)
     server.reset_statistics()
     loop.run_until(config.duration_s)
+
+    if stats_out is not None:
+        stats_out["n_events"] = loop.n_processed
+        stats_out["n_decisions"] = sum(
+            getattr(core.governor, "n_decisions", 0) for core in server.cores
+        )
 
     # One pass over completed requests into a preallocated array, then
     # vectorized latency/violation math — no per-request property calls

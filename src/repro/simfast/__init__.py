@@ -1,0 +1,29 @@
+"""Server-simulation fast path: tabulated VP decisions + incremental queue state.
+
+The server-side twin of :mod:`repro.netfast`.  ``simfast`` turns the
+governor decision loop — the dominant cost of every Fig. 12 point and
+joint sweep — into table lookups:
+
+* :class:`VPTableEngine` precomputes CCDF-at-budget rows per
+  (head offset, fold count) so one decision is a single vectorized
+  gather over the whole queue at *all* ladder frequencies at once;
+* :class:`IncrementalEquivalentQueue` mirrors a core's deadline state
+  across decisions, replacing per-event snapshot rebuilds;
+* :func:`shared_table_engine` shares the tables process-wide so warm
+  sweep workers never rebuild them.
+
+Governors select the fast path with ``engine="tabulated"`` (the
+default) and fall back to the pre-existing mixture evaluation with
+``engine="reference"``; the two produce identical frequency decisions
+(enforced by ``tests/test_simfast_equivalence.py``).
+"""
+
+from .equivalent import IncrementalEquivalentQueue
+from .tables import VPTableEngine, clear_shared_engines, shared_table_engine
+
+__all__ = [
+    "IncrementalEquivalentQueue",
+    "VPTableEngine",
+    "shared_table_engine",
+    "clear_shared_engines",
+]

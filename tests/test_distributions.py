@@ -257,3 +257,68 @@ class TestConvolutionCache:
     def test_negative_power_rejected(self):
         with pytest.raises(ConfigurationError):
             ConvolutionCache(dist_from([1.0])).power(-1)
+
+
+class TestGridOffset:
+    def test_rounds_to_nearest_bin(self):
+        d = dist_from([0.5, 0.5])
+        assert d.grid_offset(0.0) == 0
+        assert d.grid_offset(0.49 * DX) == 0
+        assert d.grid_offset(0.51 * DX) == 1
+        assert d.grid_offset(3.0 * DX) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dist_from([1.0]).grid_offset(-DX)
+
+    def test_near_edge_floats_share_a_key(self):
+        """The quantization exists so observed completed works a ULP
+        apart condition on the same cached head distribution."""
+        d = dist_from([0.25, 0.25, 0.5])
+        w = 2.0 * DX
+        assert d.conditional_remaining(np.nextafter(w, 0.0)) is d.conditional_remaining(
+            np.nextafter(w, 1.0)
+        )
+
+
+class TestCacheBounds:
+    def test_conditional_cache_is_bounded(self):
+        from repro.server.distributions import DEFAULT_MAX_COND_ENTRIES
+
+        d = dist_from(np.ones(2 * DEFAULT_MAX_COND_ENTRIES))
+        for k in range(1, 2 * DEFAULT_MAX_COND_ENTRIES):
+            d.conditional_remaining_at(k)
+        assert len(d._cond_cache) <= DEFAULT_MAX_COND_ENTRIES
+
+    def test_power_cache_bounded_with_lru_eviction(self):
+        base = dist_from([0.2, 0.5, 0.3])
+        cache = ConvolutionCache(base, max_entries=4)
+        for k in range(2, 12):
+            cache.power(k)
+        assert len(cache) <= 4
+        assert 11 in cache._powers  # the most recent power survives
+        assert 2 not in cache._powers
+
+    def test_evicted_power_rebuilds_bitwise_identical(self):
+        base = dist_from([0.2, 0.5, 0.3])
+        unbounded = ConvolutionCache(base)
+        want = unbounded.power(6).pmf.copy()
+        small = ConvolutionCache(base, max_entries=2)
+        small.power(6)
+        for k in range(7, 12):
+            small.power(k)  # push k=6 out
+        assert 6 not in small._powers
+        got = small.power(6).pmf
+        assert np.array_equal(got, want)
+
+    def test_pinned_powers_never_evicted(self):
+        base = dist_from([0.5, 0.5])
+        cache = ConvolutionCache(base, max_entries=1)
+        for k in range(2, 8):
+            cache.power(k)
+        assert cache.power(0).mean() == pytest.approx(0.0)
+        assert cache.power(1) is base
+
+    def test_zero_max_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConvolutionCache(dist_from([1.0]), max_entries=0)

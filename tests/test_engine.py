@@ -125,3 +125,51 @@ class TestRunaway:
             loop.schedule(t, lambda: None)
         loop.run_to_completion()
         assert loop.n_processed == 2
+
+
+class TestFastScheduling:
+    """schedule_fast: no cancellation handle, identical firing order."""
+
+    def test_fast_and_normal_events_interleave_in_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, lambda: order.append("normal@2"))
+        loop.schedule_fast(1.0, lambda: order.append("fast@1"))
+        loop.schedule_fast(2.0, lambda: order.append("fast@2"))
+        loop.schedule(3.0, lambda: order.append("normal@3"))
+        loop.run_to_completion()
+        assert order == ["fast@1", "normal@2", "fast@2", "normal@3"]
+
+    def test_fast_ties_fire_in_schedule_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule_fast(1.0, lambda: order.append("b"))
+        loop.schedule(1.0, lambda: order.append("c"))
+        loop.run_to_completion()
+        assert order == ["a", "b", "c"]
+
+    def test_fast_after(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: loop.schedule_fast_after(0.5, lambda: None))
+        loop.run_to_completion()
+        assert loop.now == 1.5
+
+    def test_fast_past_and_negative_rejected(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run_to_completion()
+        with pytest.raises(SimulationError):
+            loop.schedule_fast(0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            loop.schedule_fast_after(-0.1, lambda: None)
+
+    def test_n_pending_counts_fast_events(self):
+        loop = EventLoop()
+        loop.schedule_fast(1.0, lambda: None)
+        handle = loop.schedule(2.0, lambda: None)
+        assert loop.n_pending == 2
+        loop.cancel(handle)
+        assert loop.n_pending == 1
+        loop.run_to_completion()
+        assert loop.n_pending == 0

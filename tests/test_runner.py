@@ -56,6 +56,15 @@ class TestSampler:
         with pytest.raises(ConfigurationError):
             constant_latency_sampler(-1.0)
 
+    def test_returns_float_dtype(self):
+        s = constant_latency_sampler(2e-3)
+        assert s(5, None).dtype == np.float64
+        assert s(0, None).dtype == np.float64  # even when empty
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            constant_latency_sampler(2e-3)(-1, None)
+
 
 class TestRunner:
     def test_deterministic(self, service_model, ladder):

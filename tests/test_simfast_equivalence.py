@@ -1,0 +1,244 @@
+"""Tabulated-engine equivalence: bit-identical to the reference engine.
+
+The :mod:`repro.simfast` fast path is an *engine* under the existing
+governor API, not an approximation: frequency decisions, energy and
+latency tails must be exactly equal (``==`` on floats, not allclose)
+between ``engine="tabulated"`` and ``engine="reference"`` — for every
+VP governor, including the EDF-reordering ones whose incremental
+deadline mirror must replay the core's stable sort.  A golden-hash
+regression additionally pins a full fig. 12 operating point to a digest
+captured from the reference implementation, so neither engine can drift
+silently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.policies import (
+    EpronsNoReorderGovernor,
+    EpronsServerGovernor,
+    QueueSnapshot,
+    RubikGovernor,
+    RubikPlusGovernor,
+)
+from repro.power.sleep import POWERNAP_SLEEP
+from repro.sim.runner import (
+    ServerSimConfig,
+    constant_latency_sampler,
+    run_server_simulation,
+)
+
+VP_GOVERNORS = (
+    RubikGovernor,
+    RubikPlusGovernor,
+    EpronsNoReorderGovernor,
+    EpronsServerGovernor,
+)
+
+
+@pytest.fixture(scope="module", params=VP_GOVERNORS, ids=lambda c: c.name)
+def governor_pair(request, service_model, ladder):
+    """(tabulated, reference) instances of one governor class — module
+    scoped so the convolution caches and VP tables build once."""
+    cls = request.param
+    return (
+        cls(service_model, ladder, engine="tabulated"),
+        cls(service_model, ladder, engine="reference"),
+    )
+
+
+# -- decision equivalence on randomized snapshots ----------------------------------
+
+# Deadline slacks spanning blown (< 0), tight and loose regimes, at
+# sub-grid resolution so floor-bin boundaries get exercised.
+_slack = st.floats(-0.02, 0.08, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def queue_snapshots(draw):
+    now = draw(st.floats(0.0, 500.0, allow_nan=False, allow_infinity=False))
+    queued = tuple(now + s for s in draw(st.lists(_slack, max_size=8)))
+    if draw(st.booleans()):
+        in_service_deadline = now + draw(_slack)
+        completed = draw(st.one_of(st.none(), st.floats(0.0, 2e-3)))
+    else:
+        in_service_deadline = None
+        completed = None
+    return QueueSnapshot(
+        now=now,
+        in_service_completed_work=completed,
+        in_service_deadline=in_service_deadline,
+        queued_deadlines=queued,
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(snapshot=queue_snapshots())
+def test_snapshot_decisions_identical(governor_pair, snapshot):
+    tabulated, reference = governor_pair
+    assert tabulated.select_frequency(snapshot) == reference.select_frequency(snapshot)
+
+
+# -- full-simulation equivalence ---------------------------------------------------
+
+
+def run_both(governor_cls, service_model, ladder, config, **kwargs):
+    results = {}
+    for engine in governor_cls.ENGINES:
+        results[engine] = run_server_simulation(
+            service_model,
+            lambda: governor_cls(service_model, ladder),
+            config,
+            engine=engine,
+            **kwargs,
+        )
+    return results["tabulated"], results["reference"]
+
+
+@pytest.mark.parametrize("governor_cls", VP_GOVERNORS, ids=lambda c: c.name)
+def test_full_simulation_identical(governor_cls, service_model, ladder):
+    config = ServerSimConfig(
+        utilization=0.4,
+        latency_constraint_s=30e-3,
+        n_cores=2,
+        duration_s=6.0,
+        warmup_s=1.0,
+        seed=11,
+    )
+    tabulated, reference = run_both(governor_cls, service_model, ladder, config)
+    assert tabulated == reference
+
+
+def test_full_simulation_identical_with_sleep_and_reply(service_model, ladder):
+    """The incremental mirror must also track sleep transitions and
+    reply-latency deadline wiring exactly."""
+    config = ServerSimConfig(
+        utilization=0.25,
+        latency_constraint_s=30e-3,
+        n_cores=2,
+        duration_s=6.0,
+        warmup_s=1.0,
+        seed=5,
+    )
+    tabulated, reference = run_both(
+        EpronsServerGovernor,
+        service_model,
+        ladder,
+        config,
+        sleep_model=POWERNAP_SLEEP,
+        reply_latency_sampler=constant_latency_sampler(1e-3),
+    )
+    assert tabulated == reference
+
+
+# -- golden-hash regression on a fig. 12 point -------------------------------------
+
+#: Captured from the reference engine at the pre-simfast implementation;
+#: both engines must keep reproducing it bit for bit.
+FIG12_POINT_DIGESTS = {
+    "rubik": "d9bb4d2221367e686e318ae932298b236e0b9958de2059cbeba3c3b3f94c5919",
+    "eprons-server": "11b53f7fce290a3fc9d0e6fb9676f1860b427ebaf075c9fcbea4b20276d98afa",
+}
+
+
+def result_digest(result) -> str:
+    def summary(s):
+        return [s.count] + [
+            float(v).hex() for v in (s.mean, s.p50, s.p90, s.p95, s.p99, s.max)
+        ]
+
+    payload = (
+        result.governor,
+        result.n_completed,
+        float(result.cpu_power_watts).hex(),
+        float(result.server_power_watts).hex(),
+        summary(result.total_latency),
+        summary(result.sojourn),
+        float(result.violation_rate).hex(),
+        float(result.mean_busy_frequency_hz).hex(),
+        float(result.mean_busy_fraction).hex(),
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+@pytest.mark.parametrize(
+    "governor_cls", [RubikGovernor, EpronsServerGovernor], ids=lambda c: c.name
+)
+def test_fig12_point_golden_hash(governor_cls, service_model, ladder):
+    config = ServerSimConfig(
+        utilization=0.3,
+        latency_constraint_s=30e-3,
+        n_cores=2,
+        duration_s=12.0,
+        warmup_s=4.0,
+        seed=3,
+    )
+    tabulated, reference = run_both(governor_cls, service_model, ladder, config)
+    assert tabulated == reference
+    digest = result_digest(tabulated)
+    assert digest == FIG12_POINT_DIGESTS[governor_cls.name]
+
+
+# -- engine-switch API -------------------------------------------------------------
+
+
+def test_unknown_engine_rejected(service_model, ladder):
+    with pytest.raises(ConfigurationError):
+        RubikGovernor(service_model, ladder, engine="fast")
+    governor = RubikGovernor(service_model, ladder)
+    with pytest.raises(ConfigurationError):
+        governor.set_engine("indexed")
+
+
+def test_set_engine_flips_incremental_flag(service_model, ladder):
+    governor = EpronsServerGovernor(service_model, ladder, engine="reference")
+    assert not governor.incremental
+    governor.set_engine("tabulated")
+    assert governor.incremental
+    governor.set_engine("reference")
+    assert not governor.incremental
+
+
+def test_runner_engine_override_validates(service_model, ladder):
+    config = ServerSimConfig(
+        utilization=0.3,
+        latency_constraint_s=30e-3,
+        n_cores=1,
+        duration_s=2.0,
+        warmup_s=0.5,
+    )
+    with pytest.raises(ConfigurationError):
+        run_server_simulation(
+            service_model,
+            lambda: RubikGovernor(service_model, ladder),
+            config,
+            engine="bogus",
+        )
+
+
+def test_decisions_counted_on_both_engines(service_model, ladder):
+    config = ServerSimConfig(
+        utilization=0.3,
+        latency_constraint_s=30e-3,
+        n_cores=1,
+        duration_s=2.0,
+        warmup_s=0.5,
+    )
+    for engine in RubikGovernor.ENGINES:
+        stats: dict = {}
+        run_server_simulation(
+            service_model,
+            lambda: RubikGovernor(service_model, ladder),
+            config,
+            engine=engine,
+            stats_out=stats,
+        )
+        assert stats["n_decisions"] > 0
+        assert stats["n_events"] > stats["n_decisions"]

@@ -1,0 +1,230 @@
+"""Unit tests for the simfast VP table engine and incremental queue.
+
+The equivalence of whole decisions and whole simulations lives in
+``test_simfast_equivalence.py``; here we pin the building blocks — the
+table rows against the reference mixture math, the exactness of the
+idle-head rows, byte-capped eviction, the process-level registry, and
+the incremental deadline mirror's transition discipline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.server.dvfs import XEON_LADDER, FrequencyLadder
+from repro.simfast.equivalent import IncrementalEquivalentQueue
+from repro.simfast.tables import (
+    VPTableEngine,
+    clear_shared_engines,
+    shared_table_engine,
+)
+from repro.units import GHZ
+
+
+@pytest.fixture()
+def engine(service_model) -> VPTableEngine:
+    return VPTableEngine(service_model, XEON_LADDER)
+
+
+# -- table rows --------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("offset", [0, 3, 40])
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_row_matches_reference_mixture(engine, offset, k):
+    """Row ``k`` of a head stack reproduces the reference per-budget
+    mixture ``sum_j head.pmf[j] * CCDF_{S_k}(budget - j*dx)``."""
+    stack = engine.stack(offset, k)
+    head = engine.base.conditional_remaining_at(offset)
+    s_k = engine.powers.power(k)
+    row = stack.rows[k]
+    dx = engine.dx
+    # Probe each bin at its midpoint (away from floor boundaries) plus
+    # the below-grid sentinel.
+    for m in (-1, 0, 1, 5, 50, row.size - 3, row.size + 10):
+        budget = (m + 0.5) * dx
+        expected = float(np.dot(head.pmf, s_k.ccdf_many(budget - head.values)))
+        idx = min(max(m, -1), stack.width - 2)
+        got = float(stack.tables[k, idx + 1])
+        assert got == pytest.approx(expected, abs=1e-12), m
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_idle_head_rows_are_exact_copies(engine, k):
+    """With no in-service request the equivalent of the k-th queued
+    request is S_k itself — rows must be bitwise copies of its CCDF."""
+    stack = engine.stack(None, k)
+    expected = engine.powers.power(k)._ccdf_table
+    np.testing.assert_array_equal(stack.rows[k], expected)
+
+
+def test_rows_monotone_bounded_and_terminated(engine):
+    stack = engine.stack(7, 5)
+    for k, row in enumerate(stack.rows):
+        assert row[0] == 1.0, k
+        assert row[-1] == 0.0, k
+        assert np.all(row >= 0.0) and np.all(row <= 1.0), k
+        assert np.all(np.diff(row) <= 0.0), k
+    # Zero padding beyond a row's natural support in the stacked matrix.
+    widths = [row.size for row in stack.rows]
+    for k, w in enumerate(widths):
+        assert np.all(stack.tables[k, w:] == 0.0)
+
+
+def test_stack_grows_lazily_and_reuses_rows(engine):
+    stack = engine.stack(2, 2)
+    rows_before = [id(r) for r in stack.rows]
+    grown = engine.stack(2, 5)
+    assert grown is stack
+    assert [id(r) for r in grown.rows[:3]] == rows_before
+    assert grown.n_rows == 6
+
+
+# -- decisions ---------------------------------------------------------------------
+
+
+def test_decide_rejects_empty_queue(engine):
+    with pytest.raises(ConfigurationError):
+        engine.decide(np.empty(0), None, "max", 0.05)
+
+
+def test_decide_returns_none_when_even_fmax_fails(engine):
+    # Deadlines already blown: VP is 1.0 at every rung.
+    deltas = np.array([-1.0, -1.0])
+    assert engine.decide(deltas, 0, "max", 0.05) is None
+
+
+def test_decide_loose_deadlines_pick_fmin(engine):
+    deltas = np.array([10.0])  # 10 s of slack for ~3 ms of work
+    assert engine.decide(deltas, None, "max", 0.05) == XEON_LADDER.f_min
+
+
+def test_decide_mean_mode_at_most_max_mode(engine):
+    rng = np.random.default_rng(7)
+    for _ in range(20):
+        deltas = rng.uniform(-0.005, 0.04, size=rng.integers(1, 6))
+        f_max_mode = engine.decide(deltas, 0, "max", 0.05)
+        f_mean_mode = engine.decide(deltas, 0, "mean", 0.05)
+        if f_max_mode is not None:
+            assert f_mean_mode is not None
+            assert f_mean_mode <= f_max_mode
+
+
+# -- eviction ----------------------------------------------------------------------
+
+
+def test_byte_cap_evicts_lru_and_rebuilds_identically(service_model):
+    reference = VPTableEngine(service_model, XEON_LADDER)
+    keep_rows = reference.stack(1, 4).rows
+    small = VPTableEngine(
+        service_model, XEON_LADDER, max_table_bytes=2 * keep_rows[-1].nbytes
+    )
+    small.stack(1, 4)
+    for offset in (2, 3, 4, 5):
+        small.stack(offset, 4)
+    assert small.table_bytes() <= 6 * keep_rows[-1].nbytes
+    assert len(small._stacks) < 5
+    # Offset 1 was evicted; rebuilding it reproduces the exact rows.
+    rebuilt = small.stack(1, 4)
+    for k in range(5):
+        np.testing.assert_array_equal(rebuilt.rows[k], keep_rows[k])
+
+
+def test_eviction_never_drops_the_active_stack(service_model):
+    tiny = VPTableEngine(service_model, XEON_LADDER, max_table_bytes=1)
+    stack = tiny.stack(0, 3)
+    assert tiny._stacks == {0: stack}
+    other = tiny.stack(9, 3)
+    assert 9 in tiny._stacks
+    assert other.n_rows == 4
+
+
+# -- process-level registry --------------------------------------------------------
+
+
+def test_shared_engine_keyed_by_content(service_model):
+    clear_shared_engines()
+    try:
+        a = shared_table_engine(service_model, XEON_LADDER)
+        b = shared_table_engine(service_model, XEON_LADDER)
+        assert a is b
+        other_ladder = FrequencyLadder.from_range(1.2 * GHZ, 2.0 * GHZ)
+        c = shared_table_engine(service_model, other_ladder)
+        assert c is not a
+    finally:
+        clear_shared_engines()
+
+
+def test_shared_engine_capacity_bounded(service_model):
+    clear_shared_engines()
+    try:
+        first = shared_table_engine(service_model, XEON_LADDER)
+        for i in range(1, 10):
+            ladder = FrequencyLadder.from_range(1.2 * GHZ, (1.3 + 0.1 * i) * GHZ)
+            shared_table_engine(service_model, ladder)
+        # The registry holds at most 8 engines; the oldest was dropped.
+        assert shared_table_engine(service_model, XEON_LADDER) is not first
+    finally:
+        clear_shared_engines()
+
+
+# -- incremental mirror ------------------------------------------------------------
+
+
+def test_mirror_fifo_round_trip():
+    q = IncrementalEquivalentQueue()
+    for d in (5.0, 3.0, 9.0):
+        q.enqueue(d)
+    assert q.n_queued == 3
+    assert q.in_service_deadline is None
+    q.start_service()
+    assert q.in_service_deadline == 5.0
+    np.testing.assert_array_equal(q.queued_deadlines(), [3.0, 9.0])
+    np.testing.assert_array_equal(q.deltas(1.0), [4.0, 2.0, 8.0])
+    q.end_service()
+    np.testing.assert_array_equal(q.deltas(0.0), [3.0, 9.0])
+
+
+def test_mirror_sorted_insert_matches_stable_sort():
+    rng = np.random.default_rng(3)
+    q = IncrementalEquivalentQueue()
+    mirror: list[tuple[float, int]] = []
+    for rid in range(200):
+        d = float(rng.integers(0, 12))  # coarse values force ties
+        q.enqueue_sorted(d)
+        mirror.append((d, rid))
+        mirror.sort()  # stable: ties stay in arrival (rid) order
+        np.testing.assert_array_equal(
+            q.queued_deadlines(), [d for d, _ in mirror]
+        )
+        if rid % 7 == 0:
+            q.start_service()
+            popped = mirror.pop(0)
+            assert q.in_service_deadline == popped[0]
+            q.end_service()
+
+
+def test_mirror_grows_and_compacts():
+    q = IncrementalEquivalentQueue()
+    for i in range(500):
+        q.enqueue(float(i))
+        if i % 2:
+            q.start_service()
+            q.end_service()
+    assert q.n_queued == 250
+    np.testing.assert_array_equal(q.queued_deadlines(), np.arange(250.0, 500.0))
+
+
+def test_mirror_transition_guards():
+    q = IncrementalEquivalentQueue()
+    with pytest.raises(SimulationError):
+        q.start_service()
+    q.enqueue(1.0)
+    q.start_service()
+    with pytest.raises(SimulationError):
+        q.start_service()
+    q.end_service()
+    with pytest.raises(SimulationError):
+        q.end_service()
