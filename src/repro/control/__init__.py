@@ -1,6 +1,17 @@
 """SDN control plane: monitoring, optimization loop, reconfiguration."""
 
 from .controller import SWITCH_POWER_ON_S, EpochOutcome, SdnController
+from .guardrail import (
+    GUARD_COMMITTED,
+    GUARD_ESCALATE,
+    GUARD_HELD,
+    GUARD_NONE,
+    GUARD_REJECTED,
+    GUARD_ROLLBACK,
+    GUARD_VIOLATION,
+    GuardrailDecision,
+    SlaGuardrail,
+)
 from .kcontrol import ScaleFactorController
 from .latency_monitor import LatencyMonitor
 from .monitor import TrafficMonitor
@@ -18,6 +29,15 @@ __all__ = [
     "SdnController",
     "EpochOutcome",
     "ScaleFactorController",
+    "SlaGuardrail",
+    "GuardrailDecision",
+    "GUARD_NONE",
+    "GUARD_COMMITTED",
+    "GUARD_REJECTED",
+    "GUARD_HELD",
+    "GUARD_ROLLBACK",
+    "GUARD_ESCALATE",
+    "GUARD_VIOLATION",
     "SWITCH_POWER_ON_S",
     "RuleUpdate",
     "DeviceCommands",

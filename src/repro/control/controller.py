@@ -51,8 +51,18 @@ from ..faults.metrics import (
     ResilienceLog,
 )
 from ..flows.traffic import TrafficSet
-from ..netsim.network import Routing
+from ..netsim.network import NetworkModel, Routing
 from ..topology.graph import ActiveSubnet, canonical_link
+from .guardrail import (
+    GUARD_ESCALATE,
+    GUARD_HELD,
+    GUARD_NONE,
+    GUARD_REJECTED,
+    GUARD_ROLLBACK,
+    GUARD_VIOLATION,
+    GuardrailDecision,
+    SlaGuardrail,
+)
 from .monitor import TrafficMonitor
 from .rules import DeviceCommands, ReconfigurationPlan, diff_routings, diff_subnets
 
@@ -80,6 +90,19 @@ class EpochOutcome:
     predicted_total_demand_bps: float
     requested_scale_factor: float = 0.0
     milp_fallback: bool = False
+    #: What the SLA guardrail's admission gate did: ``"none"`` (no
+    #: guardrail / first epoch), ``"committed"``, ``"rejected"`` (the
+    #: observed-demand replay failed; the previous configuration was
+    #: retained) or ``"held"`` (cooldown refused a shrinking commit).
+    guardrail_action: str = GUARD_NONE
+    #: Most-loaded directed link when the observed demand was replayed
+    #: on the candidate routing (0.0 when no replay ran).
+    admission_utilization: float = 0.0
+
+    @property
+    def committed(self) -> bool:
+        """False when the guardrail kept the previous configuration."""
+        return self.guardrail_action not in (GUARD_REJECTED, GUARD_HELD)
 
     @property
     def effective_scale_factor(self) -> float:
@@ -112,6 +135,8 @@ class SdnController:
         optimization_period_s: float = 600.0,
         best_effort_scale: bool = True,
         milp_fallback_time_limit_s: float | None = None,
+        guardrail: SlaGuardrail | None = None,
+        monitor: TrafficMonitor | None = None,
     ):
         if scale_factor < 1.0:
             raise ConfigurationError(f"scale factor must be >= 1, got {scale_factor}")
@@ -127,10 +152,14 @@ class SdnController:
         #: pattern.  Off by default (MILP solves can take seconds).
         self.milp_fallback_time_limit_s = milp_fallback_time_limit_s
         self.milp_fallback_count = 0
-        self.monitor = TrafficMonitor()
+        self.monitor = monitor if monitor is not None else TrafficMonitor()
+        #: Optional SLA guardrail; ``None`` (the default) commits every
+        #: solution unconditionally — the historical behaviour.
+        self.guardrail = guardrail
         self._epoch = 0
         self._routing: Routing | None = None
         self._subnet: ActiveSubnet | None = None
+        self._result: ConsolidationResult | None = None
         self.switch_power_on_count = 0
         self.transition_energy_joules = 0.0
         #: Devices currently known-failed; every solve routes around them.
@@ -241,6 +270,41 @@ class SdnController:
         predicted = self.monitor.predicted_traffic(offered_traffic)
         result, used_fallback = self._solve(predicted)
 
+        guard_action = GUARD_NONE
+        admission_util = 0.0
+        if (
+            self.guardrail is not None
+            and self._routing is not None
+            and self._subnet is not None
+        ):
+            admission_util = self._replay_max_utilization(
+                offered_traffic, result.routing
+            )
+            guard_action = self.guardrail.admit(
+                admission_util,
+                result.subnet.n_switches_on,
+                self._subnet.n_switches_on,
+            )
+            if guard_action in (GUARD_REJECTED, GUARD_HELD):
+                # The candidate cannot carry the measured load (or a
+                # cooldown is in force): keep the current configuration
+                # untouched — an empty plan, no transitions charged.
+                outcome = EpochOutcome(
+                    epoch=self._epoch,
+                    result=self._result,
+                    plan=ReconfigurationPlan(
+                        rules=diff_routings(self._routing, self._routing),
+                        devices=diff_subnets(self._subnet, self._subnet),
+                    ),
+                    predicted_total_demand_bps=predicted.total_demand_bps(),
+                    requested_scale_factor=self.scale_factor,
+                    milp_fallback=used_fallback,
+                    guardrail_action=guard_action,
+                    admission_utilization=admission_util,
+                )
+                self._epoch += 1
+                return outcome
+
         plan = ReconfigurationPlan(
             rules=diff_routings(self._routing, result.routing),
             devices=diff_subnets(self._subnet, result.subnet),
@@ -252,6 +316,7 @@ class SdnController:
 
         self._routing = result.routing
         self._subnet = result.subnet
+        self._result = result
         outcome = EpochOutcome(
             epoch=self._epoch,
             result=result,
@@ -259,9 +324,105 @@ class SdnController:
             predicted_total_demand_bps=predicted.total_demand_bps(),
             requested_scale_factor=self.scale_factor,
             milp_fallback=used_fallback,
+            guardrail_action=guard_action,
+            admission_utilization=admission_util,
         )
         self._epoch += 1
         return outcome
+
+    # -- SLA guardrail ----------------------------------------------------------------
+
+    def _replay_max_utilization(
+        self, offered_traffic: TrafficSet, candidate: Routing
+    ) -> float:
+        """Replay the *observed* demand through a candidate routing.
+
+        The admission check deliberately uses what the monitor measured
+        (window means), not the prediction the candidate was solved
+        from — a candidate packed against an under-prediction must
+        still carry the load that was actually seen.
+        """
+        observed = self.monitor.observed_traffic(offered_traffic)
+        model = NetworkModel(
+            self.consolidator.topology,
+            observed,
+            candidate,
+            engine=getattr(self.consolidator, "engine", "indexed"),
+        )
+        return model.max_utilization()
+
+    def observe_sla(self, measured_tail_s: float) -> GuardrailDecision:
+        """Fold one epoch's measured query tail into the violation watchdog.
+
+        Call after :meth:`run_epoch` with the tail latency the servers'
+        latency monitors measured under the committed configuration.
+        On a violation the watchdog restores the last-known-good
+        routing (booting back any switches the bad commit turned off —
+        churn charged as transition energy); a violation *at* the
+        last-known-good escalates K through the guardrail's kcontrol.
+        Clear measurements below the hysteresis band re-arm the
+        guardrail and mark the current configuration known-good.
+        """
+        if measured_tail_s < 0:
+            raise ConfigurationError("measured tail must be non-negative")
+        g = self.guardrail
+        if g is None:
+            raise ConfigurationError("observe_sla() requires a guardrail")
+        epoch = max(self._epoch - 1, 0)
+        violated = g.is_violation(measured_tail_s)
+        clear = g.is_clear(measured_tail_s)
+        action = GUARD_NONE
+        if violated:
+            g.violation_epochs += 1
+            if g.last_good is not None and g.last_good[0] is not self._routing:
+                self._restore_last_good()
+                g.rollbacks += 1
+                action = GUARD_ROLLBACK
+            else:
+                # Already at (or without) a known-good configuration:
+                # rolling back cannot help, so buy headroom instead.
+                new_k = g.escalate_k()
+                if new_k is not None:
+                    self.set_scale_factor(new_k)
+                    action = GUARD_ESCALATE
+                else:
+                    action = GUARD_VIOLATION
+            g.start_cooldown()
+        else:
+            g.tick_cooldown(clear)
+            if clear and not g.in_cooldown and self._routing is not None:
+                g.last_good = (self._routing, self._subnet, self._result)
+            if not g.in_cooldown and g.kcontrol is not None:
+                # Closed-loop K tracking (Section II) resumes once the
+                # guardrail is re-armed; this is also how K relaxes
+                # back down after an escalation.
+                k = g.kcontrol.update(measured_tail_s)
+                if k != self.scale_factor:
+                    self.set_scale_factor(k)
+        decision = GuardrailDecision(
+            epoch=epoch,
+            measured_tail_s=measured_tail_s,
+            violated=violated,
+            action=action,
+            k_after=self.scale_factor,
+        )
+        g.decisions.append(decision)
+        return decision
+
+    def _restore_last_good(self) -> None:
+        """Roll the fabric back to the last-known-good configuration.
+
+        Re-activating retired devices is a normal reconfiguration:
+        power-ons are counted and boot-overlap energy charged, so
+        telemetry-driven oscillation shows up in the energy ledger
+        rather than hiding as free state flips.
+        """
+        routing, subnet, result = self.guardrail.last_good
+        devices = diff_subnets(self._subnet, subnet)
+        self._charge_transitions(devices)
+        self._routing = routing
+        self._subnet = subnet
+        self._result = result
 
     # -- failure handling ---------------------------------------------------------------
 
@@ -297,6 +458,11 @@ class SdnController:
         links = frozenset(canonical_link(u, v) for u, v in links)
         self.failed_switches |= switches
         self.failed_links |= links
+        if self.guardrail is not None:
+            # A known-good configuration is only good on the topology
+            # it was proven on; the rollback target may route through
+            # the devices that just died.
+            self.guardrail.last_good = None
 
         if self._subnet is None or self._routing is None:
             outcome = RepairOutcome(

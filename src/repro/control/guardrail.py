@@ -1,0 +1,228 @@
+"""SLA guardrail: admission checks, a violation watchdog, hysteresis.
+
+Under perfect telemetry the controller can trust the 90th-percentile
+predictor and commit every solution unconditionally.  Under the
+telemetry a real SDN controller gets — lost stats replies, stale
+counters — an over-aggressive subnet shrink directly violates the
+latency SLA the whole design protects.  The :class:`SlaGuardrail`
+closes that loop in two places:
+
+* **before commit** (admission): replay the *observed* demand — what
+  the monitor actually measured, not what the predictor extrapolated —
+  through the candidate routing's link headroom; a candidate that
+  cannot carry the measured load is rejected and the last-known-good
+  configuration stays in force;
+* **after commit** (watchdog): fold the measured query tail latency
+  (from the servers' :class:`~repro.control.latency_monitor.LatencyMonitor`)
+  each epoch; a violation rolls the fabric back to the last-known-good
+  routing, and a violation that persists *at* the last-known-good
+  escalates the scale factor K through the
+  :class:`~repro.control.kcontrol.ScaleFactorController`.
+
+State machine (one transition per watchdog measurement)::
+
+                 tail <= clear_band            tail > budget
+        +------+ ------------------> +-------+ ------------> rollback,
+        | HOLD | <------------------ | ARMED |               cooldown=N
+        +------+   cooldown epochs   +-------+ <----+
+           |        elapsed                         |
+           |  tail > budget (even last-good bad)    |  tail back under
+           +--> escalate K via kcontrol  -----------+  the clear band
+
+    ARMED:  the current configuration has proven itself (a clear
+            measurement); it becomes the rollback target.
+    HOLD:   recently rolled back / escalated; the admission gate also
+            refuses any commit that *shrinks* the subnet until the
+            cooldown expires, so lossy telemetry cannot make the
+            subnet oscillate (churn is itself charged transition
+            energy).
+
+The hysteresis band (``clear_fraction`` < ``violation_fraction``)
+keeps a tail that hovers near the budget from flapping between
+rollback and re-shrink every epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .kcontrol import ScaleFactorController
+
+__all__ = [
+    "SlaGuardrail",
+    "GuardrailDecision",
+    "GUARD_NONE",
+    "GUARD_COMMITTED",
+    "GUARD_REJECTED",
+    "GUARD_HELD",
+    "GUARD_ROLLBACK",
+    "GUARD_ESCALATE",
+    "GUARD_VIOLATION",
+]
+
+#: Admission-stage outcomes (recorded on :class:`~repro.control.controller.EpochOutcome`).
+GUARD_NONE = "none"            # guardrail absent or nothing to compare against
+GUARD_COMMITTED = "committed"  # candidate passed the admission replay
+GUARD_REJECTED = "rejected"    # candidate failed the observed-demand replay
+GUARD_HELD = "held"            # cooldown in force; shrinking commit refused
+
+#: Watchdog outcomes (returned by ``SdnController.observe_sla``).
+GUARD_ROLLBACK = "rollback"    # restored the last-known-good configuration
+GUARD_ESCALATE = "escalate"    # raised K (violation at last-known-good)
+GUARD_VIOLATION = "violation"  # violated with no remaining remedy
+
+
+@dataclass(frozen=True)
+class GuardrailDecision:
+    """What the watchdog did with one measurement."""
+
+    epoch: int
+    measured_tail_s: float
+    violated: bool
+    action: str  # GUARD_NONE | GUARD_ROLLBACK | GUARD_ESCALATE | GUARD_VIOLATION
+    k_after: float
+
+
+class SlaGuardrail:
+    """Admission gate + violation watchdog for the SDN controller.
+
+    Parameters
+    ----------
+    network_budget_s:
+        The query network-latency budget the SLA protects (5 ms in the
+        paper's running example).
+    admission_max_utilization:
+        A candidate routing is admitted only if replaying the observed
+        demand leaves every directed link at or below this utilization
+        (just under 1.0 by default: past the knee, queueing delay
+        explodes).
+    violation_fraction / clear_fraction:
+        The hysteresis band, as fractions of the budget.  A measured
+        tail above ``violation_fraction * budget`` is a violation; only
+        a tail below ``clear_fraction * budget`` re-arms the guardrail
+        (marks the configuration known-good / ends cooldown).
+    cooldown_epochs:
+        Epochs after a rollback or escalation during which commits that
+        shrink the subnet are refused.
+    kcontrol:
+        Optional :class:`ScaleFactorController` used to escalate K when
+        a violation persists at the last-known-good configuration.
+        ``None`` disables escalation (rollback-only guardrail).
+    """
+
+    def __init__(
+        self,
+        network_budget_s: float,
+        admission_max_utilization: float = 0.98,
+        violation_fraction: float = 1.0,
+        clear_fraction: float = 0.8,
+        cooldown_epochs: int = 2,
+        kcontrol: ScaleFactorController | None = None,
+    ):
+        if network_budget_s <= 0:
+            raise ConfigurationError("network budget must be positive")
+        if not 0.0 < admission_max_utilization <= 1.0:
+            raise ConfigurationError(
+                f"admission_max_utilization {admission_max_utilization} outside (0, 1]"
+            )
+        if not 0.0 < clear_fraction < violation_fraction:
+            raise ConfigurationError(
+                "need 0 < clear_fraction < violation_fraction for a hysteresis band, "
+                f"got ({clear_fraction}, {violation_fraction})"
+            )
+        if cooldown_epochs < 0:
+            raise ConfigurationError("cooldown must be non-negative")
+        self.network_budget_s = network_budget_s
+        self.admission_max_utilization = admission_max_utilization
+        self.violation_fraction = violation_fraction
+        self.clear_fraction = clear_fraction
+        self.cooldown_epochs = cooldown_epochs
+        self.kcontrol = kcontrol
+
+        self.cooldown_left = 0
+        #: (routing, subnet, result) proven good by a clear measurement.
+        self.last_good = None
+        self.admissions = 0
+        self.rejections = 0
+        self.holds = 0
+        self.rollbacks = 0
+        self.escalations = 0
+        self.violation_epochs = 0
+        self.decisions: list[GuardrailDecision] = []
+
+    # -- admission gate ----------------------------------------------------------
+
+    @property
+    def in_cooldown(self) -> bool:
+        return self.cooldown_left > 0
+
+    def admit(
+        self,
+        replay_max_utilization: float,
+        candidate_switches_on: int,
+        current_switches_on: int | None,
+    ) -> str:
+        """Gate one candidate commit; returns the admission outcome.
+
+        ``replay_max_utilization`` is the most loaded directed link
+        when the *observed* demand is replayed on the candidate
+        routing.  During cooldown any candidate that shrinks the subnet
+        is refused regardless of the replay — the fabric only grows (or
+        holds) until the hysteresis clears.
+        """
+        if (
+            self.in_cooldown
+            and current_switches_on is not None
+            and candidate_switches_on < current_switches_on
+        ):
+            self.holds += 1
+            return GUARD_HELD
+        if replay_max_utilization > self.admission_max_utilization:
+            self.rejections += 1
+            return GUARD_REJECTED
+        self.admissions += 1
+        return GUARD_COMMITTED
+
+    # -- watchdog ----------------------------------------------------------------
+
+    def is_violation(self, measured_tail_s: float) -> bool:
+        return measured_tail_s > self.violation_fraction * self.network_budget_s
+
+    def is_clear(self, measured_tail_s: float) -> bool:
+        return measured_tail_s <= self.clear_fraction * self.network_budget_s
+
+    def escalate_k(self) -> float | None:
+        """One K step up through kcontrol; ``None`` when impossible.
+
+        Bypasses the kcontrol dead band deliberately: the watchdog has
+        *observed* a violation, which outranks the tail-tracking
+        heuristic.
+        """
+        kc = self.kcontrol
+        if kc is None or kc.k >= kc.k_max:
+            return None
+        kc.k = min(kc.k + kc.step, kc.k_max)
+        kc.adjustments += 1
+        self.escalations += 1
+        return kc.k
+
+    def start_cooldown(self) -> None:
+        self.cooldown_left = self.cooldown_epochs
+
+    def tick_cooldown(self, clear: bool) -> None:
+        """Advance the cooldown by one clear measurement."""
+        if clear and self.cooldown_left > 0:
+            self.cooldown_left -= 1
+
+    def summary(self) -> dict:
+        """Picklable counters for sweep payloads."""
+        return {
+            "admissions": self.admissions,
+            "rejections": self.rejections,
+            "holds": self.holds,
+            "rollbacks": self.rollbacks,
+            "escalations": self.escalations,
+            "violation_epochs": self.violation_epochs,
+            "k_final": self.kcontrol.k if self.kcontrol is not None else None,
+        }

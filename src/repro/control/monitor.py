@@ -6,6 +6,14 @@ flow's next-epoch demand as the 90th percentile of the last epoch
 (Section II).  :class:`TrafficMonitor` is that component: it ingests
 per-flow rate observations and produces the *predicted* traffic set the
 optimizer consolidates.
+
+A real control plane does not see every poll.  The monitor therefore
+carries gap-aware semantics: dropped stats replies are recorded as
+*gaps* (missing-sample accounting, never implicit zero demand), a
+configurable staleness discount inflates predictions for flows whose
+window is riddled with gaps, and a flow whose entire window was lost
+falls back to its last good epoch's prediction instead of silently
+reverting to its admission-time estimate.
 """
 
 from __future__ import annotations
@@ -27,22 +35,77 @@ class TrafficMonitor:
     window:
         Samples per epoch: with a 2-s poll and a 10-min optimization
         period, one epoch holds 300 samples.
+    max_tracked_flows:
+        Upper bound on simultaneously tracked predictors.  ``None``
+        (the default) keeps the historical unbounded behaviour; with a
+        bound, admitting a new flow at capacity evicts the least
+        recently observed one (deterministic: observation order) and
+        increments :attr:`evictions` so operators can see the monitor
+        is shedding state.
+    staleness_inflation:
+        Headroom multiplier under missing telemetry: a flow predicted
+        from a window with gap fraction ``g`` reserves
+        ``predicted * (1 + staleness_inflation * g)``.  ``0.0`` (the
+        default) reproduces the historical prediction bit-exactly.
     """
 
     POLL_PERIOD_S = 2.0
 
-    def __init__(self, q: float = 90.0, window: int = 300):
+    def __init__(
+        self,
+        q: float = 90.0,
+        window: int = 300,
+        max_tracked_flows: int | None = None,
+        staleness_inflation: float = 0.0,
+    ):
+        if max_tracked_flows is not None and max_tracked_flows <= 0:
+            raise ConfigurationError(
+                f"max_tracked_flows must be positive, got {max_tracked_flows}"
+            )
+        if staleness_inflation < 0:
+            raise ConfigurationError(
+                f"staleness_inflation must be non-negative, got {staleness_inflation}"
+            )
         self.q = q
         self.window = window
+        self.max_tracked_flows = max_tracked_flows
+        self.staleness_inflation = staleness_inflation
         self._predictors: dict[str, PercentilePredictor] = {}
+        #: Last successfully computed prediction per flow — the
+        #: fallback when a whole window of polls is lost.
+        self._last_good: dict[str, float] = {}
+        self.evictions = 0
+        self.fallbacks = 0
+
+    # -- predictor bookkeeping ---------------------------------------------------
+
+    def _predictor(self, flow_id: str) -> PercentilePredictor:
+        """The flow's predictor, created (and capacity-enforced) on demand.
+
+        Touching a predictor moves it to the back of the eviction
+        order, so "oldest" always means least recently observed.
+        """
+        predictor = self._predictors.pop(flow_id, None)
+        if predictor is None:
+            if (
+                self.max_tracked_flows is not None
+                and len(self._predictors) >= self.max_tracked_flows
+            ):
+                oldest = next(iter(self._predictors))
+                del self._predictors[oldest]
+                self._last_good.pop(oldest, None)
+                self.evictions += 1
+            predictor = PercentilePredictor(q=self.q, window=self.window)
+        self._predictors[flow_id] = predictor
+        return predictor
 
     def observe(self, flow_id: str, rate_bps: float) -> None:
         """Record one polled rate sample for a flow."""
-        predictor = self._predictors.get(flow_id)
-        if predictor is None:
-            predictor = PercentilePredictor(q=self.q, window=self.window)
-            self._predictors[flow_id] = predictor
-        predictor.observe(rate_bps)
+        self._predictor(flow_id).observe(rate_bps)
+
+    def observe_gap(self, flow_id: str) -> None:
+        """Record one poll for which the flow's stats reply was lost."""
+        self._predictor(flow_id).record_gap()
 
     def observe_epoch(self, rates_by_flow: dict[str, list[float]]) -> None:
         """Record a whole epoch of samples at once."""
@@ -57,6 +120,11 @@ class TrafficMonitor:
         p = self._predictors.get(flow_id)
         return p is not None and p.n_samples > 0
 
+    def gap_fraction(self, flow_id: str) -> float:
+        """Fraction of the flow's window that was dropped polls."""
+        p = self._predictors.get(flow_id)
+        return p.gap_fraction if p is not None else 0.0
+
     def predicted_demand(self, flow_id: str) -> float:
         """Predicted next-epoch demand (bit/s) for one flow."""
         p = self._predictors.get(flow_id)
@@ -64,25 +132,65 @@ class TrafficMonitor:
             raise ConfigurationError(f"no observations for flow {flow_id!r}")
         return p.predict()
 
+    # -- traffic views -----------------------------------------------------------
+
     def predicted_traffic(self, base: TrafficSet) -> TrafficSet:
         """The base traffic set with demands replaced by predictions.
 
-        Flows never observed keep their configured demand (a new flow's
-        first epoch uses its admission-time estimate, as a real
-        controller must).
+        Three cases per flow:
+
+        * **observed** — the percentile prediction, inflated by the
+          staleness discount when the window has gaps;
+        * **tracked but blind** (every poll in the window dropped) —
+          the last good epoch's prediction, counted in
+          :attr:`fallbacks`; a flow with no good epoch yet keeps its
+          configured demand;
+        * **never seen** — the configured demand (a new flow's first
+          epoch uses its admission-time estimate, as a real controller
+          must).
         """
         out = TrafficSet()
         for flow in base:
-            if self.has_prediction(flow.flow_id):
-                predicted = max(self.predicted_demand(flow.flow_id), 1.0)
+            predictor = self._predictors.get(flow.flow_id)
+            if predictor is not None and predictor.n_samples > 0:
+                predicted = max(predictor.predict(), 1.0)
+                gap = predictor.gap_fraction
+                if self.staleness_inflation > 0.0 and gap > 0.0:
+                    predicted *= 1.0 + self.staleness_inflation * gap
+                self._last_good[flow.flow_id] = predicted
                 out.add(flow.with_demand(predicted))
+            elif predictor is not None and flow.flow_id in self._last_good:
+                self.fallbacks += 1
+                out.add(flow.with_demand(self._last_good[flow.flow_id]))
             else:
                 out.add(flow)
         return out
 
+    def observed_traffic(self, base: TrafficSet) -> TrafficSet:
+        """The base traffic set with demands replaced by *measured* load.
+
+        Uses the mean of each flow's delivered window samples — no
+        percentile, no inflation — falling back to the configured
+        demand where nothing was measured.  This is the admission
+        check's replay input: "would the candidate subnet carry what we
+        actually saw?", deliberately independent of the predictor the
+        candidate was solved from.
+        """
+        out = TrafficSet()
+        for flow in base:
+            predictor = self._predictors.get(flow.flow_id)
+            if predictor is not None and predictor.n_samples > 0:
+                out.add(flow.with_demand(max(predictor.window_mean(), 1.0)))
+            else:
+                out.add(flow)
+        return out
+
+    # -- lifecycle ---------------------------------------------------------------
+
     def forget(self, flow_id: str) -> None:
         """Drop a departed flow's history."""
         self._predictors.pop(flow_id, None)
+        self._last_good.pop(flow_id, None)
 
     def prune(self, active_flow_ids) -> int:
         """Forget every tracked flow not in ``active_flow_ids``.
@@ -96,4 +204,15 @@ class TrafficMonitor:
         departed = [fid for fid in self._predictors if fid not in active]
         for fid in departed:
             del self._predictors[fid]
+            self._last_good.pop(fid, None)
         return len(departed)
+
+    def telemetry_counters(self) -> dict:
+        """Gap/eviction/fallback accounting (picklable sweep payload)."""
+        return {
+            "tracked_flows": len(self._predictors),
+            "evictions": self.evictions,
+            "fallbacks": self.fallbacks,
+            "window_gaps": sum(p.n_gaps for p in self._predictors.values()),
+            "total_gaps": sum(p.total_gaps for p in self._predictors.values()),
+        }

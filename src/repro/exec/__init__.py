@@ -25,12 +25,15 @@ spec and outcomes are reassembled in task order.
 from .cache import ResultCache, cached_call, code_salt
 from .context import ExecContext, get_context, set_context, use_context
 from .executor import SweepExecutionError, TaskOutcome, run_sweep, sweep_stats
+from .journal import RetryPolicy, RunJournal
 from .registry import resolve_task_fn, task_fn
 from .tasks import SweepTask, canonical_json, derive_seed, spec_digest
 
 __all__ = [
     "ExecContext",
     "ResultCache",
+    "RetryPolicy",
+    "RunJournal",
     "SweepExecutionError",
     "SweepTask",
     "TaskOutcome",

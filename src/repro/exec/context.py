@@ -35,15 +35,35 @@ class ExecContext:
     cache_dir:
         Cache root; ``None`` means ``$REPRO_CACHE_DIR`` or
         ``.repro_cache/`` under the current working directory.
+    journal_dir:
+        With a directory set, every sweep appends its progress to a
+        crash-safe :class:`~repro.exec.journal.RunJournal` under it
+        (one file per task list, named by the list's content digest).
+    resume:
+        Serve terminal outcomes recorded in an existing journal instead
+        of re-running their tasks (the CLI's ``--resume``).
+    max_retries / backoff_base_s / timeout_s:
+        Ambient :class:`~repro.exec.journal.RetryPolicy` fields applied
+        to sweeps that do not pass an explicit policy; the defaults
+        reproduce the historical single-shot, unbounded behaviour.
     """
 
     jobs: int = 1
     cache: bool = True
     cache_dir: str | None = None
+    journal_dir: str | None = None
+    resume: bool = False
+    max_retries: int = 0
+    backoff_base_s: float = 0.0
+    timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
 
     def resolved_cache_dir(self) -> str:
         return self.cache_dir or os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)

@@ -7,16 +7,30 @@ order** regardless of completion order — which, combined with task
 functions being pure functions of their spec, makes sweep output
 bit-identical at any parallelism level.
 
-Each task yields a :class:`TaskOutcome` that distinguishes the three
-ways a sweep point can end:
+Each task yields a :class:`TaskOutcome` that distinguishes the ways a
+sweep point can end:
 
 * ``ok`` — the task function's return value;
 * ``infeasible`` — it raised :class:`~repro.errors.InfeasibleError`
   (an operating point the paper's optimizer legitimately rejects, e.g.
   "aggregation 3 cannot support a tail latency constraint < 29 ms");
+* ``timeout`` — it blew its :class:`~repro.exec.journal.RetryPolicy`
+  wall-clock budget and the parent cut it loose (pool runs only);
 * ``error`` — it crashed; the traceback is captured so one bad point
   does not take down a 200-point sweep, and :meth:`TaskOutcome.unwrap`
   re-raises loudly for callers that want fail-fast behavior.
+
+The executor is self-healing on three axes, all off by default:
+
+* **retries** — ``error``/``timeout`` outcomes are re-dispatched up to
+  ``policy.max_retries`` times with deterministic exponential backoff
+  (``infeasible`` is an answer, not a failure — never retried);
+* **timeouts** — a hung worker is detected at collection, its pool torn
+  down, and the casualties retried on a fresh pool;
+* **journal** — with ``journal_path`` set, every finished task is
+  appended (fsynced) to a :class:`~repro.exec.journal.RunJournal`;
+  ``resume=True`` serves journaled terminal outcomes without re-running
+  them, so a sweep killed at task 173 of 200 restarts at 174.
 
 Results are memoized through :mod:`repro.exec.cache`; fully warm sweeps
 never spin up a process pool at all.
@@ -24,15 +38,19 @@ never spin up a process pool at all.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from time import perf_counter
+from dataclasses import dataclass, replace
+from time import perf_counter, sleep
 
 from ..errors import InfeasibleError, SimulationError
 from .cache import STATUS_INFEASIBLE, STATUS_OK, ResultCache
 from .context import ExecContext, get_context, use_context
+from .journal import RetryPolicy, RunJournal
 from .registry import resolve_task_fn
 from .tasks import SweepTask
 
@@ -45,16 +63,18 @@ class SweepExecutionError(SimulationError):
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """Result envelope for one executed (or cache-served) task."""
+    """Result envelope for one executed (or cache/journal-served) task."""
 
     task: SweepTask
-    status: str  # "ok" | "infeasible" | "error"
+    status: str  # "ok" | "infeasible" | "timeout" | "error"
     value: object = None
     error: str = ""
     error_type: str = ""
     tb: str = ""
     duration_s: float = 0.0
     cached: bool = False
+    #: Retry rounds this task consumed before settling (0 = first try).
+    retries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -63,6 +83,14 @@ class TaskOutcome:
     @property
     def infeasible(self) -> bool:
         return self.status == "infeasible"
+
+    @property
+    def timed_out(self) -> bool:
+        return self.status == "timeout"
+
+    @property
+    def retried(self) -> bool:
+        return self.retries > 0
 
     def unwrap(self):
         """The value, or the task's failure re-raised."""
@@ -112,72 +140,198 @@ def _execute_task(task: SweepTask, cache_dir: str, cache_enabled: bool) -> TaskO
     )
 
 
+def _run_round(
+    tasks: list[SweepTask],
+    indices: list[int],
+    ctx: ExecContext,
+    cache_dir: str,
+    timeout_s: float | None,
+) -> dict[int, TaskOutcome]:
+    """Dispatch one attempt at every index; never raises.
+
+    The wall-clock budget is enforced at collection: the parent waits at
+    most ``timeout_s`` for each future (in submission order), and the
+    first timeout tears the whole pool down — a hung worker wedges every
+    task queued behind it, so the casualties come back as retryable
+    ``error``/``timeout`` outcomes rather than blocking the sweep.
+    Serial runs cannot preempt themselves; the budget is ignored there.
+    """
+    results: dict[int, TaskOutcome] = {}
+    if ctx.jobs > 1 and len(indices) > 1:
+        pool = ProcessPoolExecutor(max_workers=min(ctx.jobs, len(indices)))
+        try:
+            futures = [
+                (i, pool.submit(_execute_task, tasks[i], cache_dir, ctx.cache))
+                for i in indices
+            ]
+            for i, future in futures:
+                try:
+                    results[i] = future.result(timeout=timeout_s)
+                except FuturesTimeoutError:
+                    results[i] = TaskOutcome(
+                        task=tasks[i],
+                        status="timeout",
+                        error=f"exceeded the {timeout_s}s wall-clock budget",
+                        error_type="TimeoutError",
+                        duration_s=float(timeout_s),
+                    )
+                    for proc in list(pool._processes.values()):
+                        proc.terminate()
+                except BrokenProcessPool as err:
+                    # A worker died hard (OOM kill, segfault, os._exit)
+                    # and took the pool with it; every still-pending
+                    # future raises this.  Convert each affected task to
+                    # an error outcome — a sweep must never return None
+                    # entries or let one dead worker raise past a
+                    # 200-point run.
+                    results[i] = TaskOutcome(
+                        task=tasks[i],
+                        status="error",
+                        error=str(err) or "process pool terminated abruptly",
+                        error_type="BrokenProcessPool",
+                    )
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+    else:
+        with use_context(ctx):
+            for i in indices:
+                results[i] = _execute_task(tasks[i], cache_dir, ctx.cache)
+    return results
+
+
 def run_sweep(
-    tasks: list[SweepTask], ctx: ExecContext | None = None
+    tasks: list[SweepTask],
+    ctx: ExecContext | None = None,
+    policy: RetryPolicy | None = None,
+    journal_path: str | None = None,
+    resume: bool = False,
 ) -> list[TaskOutcome]:
     """Execute every task; outcomes are returned in task order.
 
     Cache hits are resolved in the parent process first; only misses are
-    dispatched, so a warm sweep costs one cache probe per task.
+    dispatched, so a warm sweep costs one cache probe per task.  With a
+    ``journal_path``, every settled task is appended to a crash-safe
+    :class:`~repro.exec.journal.RunJournal`; pass ``resume=True`` to
+    serve previously journaled terminal outcomes instead of re-running
+    them.  ``policy`` bounds per-task retries and wall-clock budgets
+    (the default :class:`~repro.exec.journal.RetryPolicy` reproduces the
+    historical single-shot behaviour exactly).
     """
     ctx = ctx or get_context()
+    if policy is None:
+        policy = RetryPolicy(
+            max_retries=ctx.max_retries,
+            backoff_base_s=ctx.backoff_base_s,
+            timeout_s=ctx.timeout_s,
+        )
     cache_dir = ctx.resolved_cache_dir()
     cache = ResultCache(cache_dir, enabled=ctx.cache)
 
-    outcomes: list[TaskOutcome | None] = [None] * len(tasks)
-    misses: list[int] = []
-    for i, task in enumerate(tasks):
-        hit, status, value = cache.lookup(task.fn, task.kwargs)
-        if not hit:
-            misses.append(i)
-        elif status == STATUS_INFEASIBLE:
-            outcomes[i] = TaskOutcome(
-                task=task, status="infeasible", error=value,
-                error_type="InfeasibleError", cached=True,
-            )
-        else:
-            outcomes[i] = TaskOutcome(task=task, status="ok", value=value, cached=True)
+    if journal_path is None and ctx.journal_dir:
+        # One journal file per task list, named by the list's content
+        # digest: re-invoking the same sweep (the --resume workflow)
+        # lands on the same file without callers naming it.
+        digest = hashlib.sha256(
+            "\n".join(t.digest for t in tasks).encode()
+        ).hexdigest()[:16]
+        journal_path = os.path.join(ctx.journal_dir, f"sweep-{digest}.jsonl")
+        resume = resume or ctx.resume
+    journal = RunJournal(journal_path, resume=resume) if journal_path else None
+    served = journal.completed() if journal is not None else {}
 
-    if misses:
-        if ctx.jobs > 1 and len(misses) > 1:
-            with ProcessPoolExecutor(max_workers=min(ctx.jobs, len(misses))) as pool:
-                futures = [
-                    pool.submit(_execute_task, tasks[i], cache_dir, ctx.cache)
-                    for i in misses
-                ]
-                for i, future in zip(misses, futures):
-                    try:
-                        outcomes[i] = future.result()
-                    except BrokenProcessPool as err:
-                        # A worker died hard (OOM kill, segfault,
-                        # os._exit) and took the pool with it; every
-                        # still-pending future raises this.  Convert
-                        # each affected task to an error outcome — a
-                        # sweep must never return None entries or let
-                        # one dead worker raise past a 200-point run.
-                        outcomes[i] = TaskOutcome(
-                            task=tasks[i],
-                            status="error",
-                            error=str(err) or "process pool terminated abruptly",
-                            error_type="BrokenProcessPool",
-                        )
-        else:
-            with use_context(ctx):
-                for i in misses:
-                    outcomes[i] = _execute_task(tasks[i], cache_dir, ctx.cache)
+    try:
+        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+        misses: list[int] = []
+        for i, task in enumerate(tasks):
+            record = served.get(task.digest)
+            if record is not None:
+                if record["status"] == STATUS_INFEASIBLE:
+                    outcomes[i] = TaskOutcome(
+                        task=task, status="infeasible", error=record["error"],
+                        error_type="InfeasibleError", cached=True,
+                        retries=record.get("retries", 0),
+                    )
+                else:
+                    outcomes[i] = TaskOutcome(
+                        task=task, status="ok", value=journal.value_of(record),
+                        cached=True, retries=record.get("retries", 0),
+                    )
+                continue
+            hit, status, value = cache.lookup(task.fn, task.kwargs)
+            if not hit:
+                misses.append(i)
+            elif status == STATUS_INFEASIBLE:
+                outcomes[i] = TaskOutcome(
+                    task=task, status="infeasible", error=value,
+                    error_type="InfeasibleError", cached=True,
+                )
+                _journal_record(journal, outcomes[i])
+            else:
+                outcomes[i] = TaskOutcome(
+                    task=task, status="ok", value=value, cached=True
+                )
+                _journal_record(journal, outcomes[i])
+
+        pending = misses
+        attempt = 0
+        while pending:
+            round_results = _run_round(
+                tasks, pending, ctx, cache_dir, policy.timeout_s
+            )
+            next_pending: list[int] = []
+            for i in pending:
+                out = round_results[i]
+                if policy.retryable(out.status) and attempt < policy.max_retries:
+                    next_pending.append(i)
+                    continue
+                out = replace(out, retries=attempt)
+                outcomes[i] = out
+                _journal_record(journal, out)
+            pending = next_pending
+            if pending:
+                backoff = policy.backoff_s(attempt)
+                if backoff > 0:
+                    sleep(backoff)
+                attempt += 1
+    finally:
+        if journal is not None:
+            journal.close()
     return outcomes  # type: ignore[return-value]
 
 
+def _journal_record(journal: RunJournal | None, out: TaskOutcome) -> None:
+    if journal is None:
+        return
+    journal.record(
+        out.task.digest,
+        out.task.fn,
+        out.status,
+        value=out.value,
+        error=out.error,
+        error_type=out.error_type,
+        tb=out.tb,
+        duration_s=out.duration_s,
+        retries=out.retries,
+    )
+
+
 def sweep_stats(outcomes: list[TaskOutcome]) -> str:
-    """One-line summary: counts, cache hits, worker compute time."""
+    """One-line summary: counts, cache hits, failure taxonomy, retries."""
     n = len(outcomes)
     cached = sum(1 for o in outcomes if o.cached)
     infeasible = sum(1 for o in outcomes if o.infeasible)
     errors = sum(1 for o in outcomes if o.status == "error")
+    timeouts = sum(1 for o in outcomes if o.status == "timeout")
+    retried = sum(1 for o in outcomes if o.retried)
+    total_retries = sum(o.retries for o in outcomes)
     worker_s = sum(o.duration_s for o in outcomes)
     parts = [f"{n} tasks", f"{cached} cached", f"{worker_s:.1f}s task time"]
     if infeasible:
         parts.append(f"{infeasible} infeasible")
+    if timeouts:
+        parts.append(f"{timeouts} timeouts")
     if errors:
         parts.append(f"{errors} errors")
+    if retried:
+        parts.append(f"{retried} retried ({total_retries} retries)")
     return ", ".join(parts)

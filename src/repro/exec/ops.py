@@ -46,6 +46,7 @@ __all__ = [
     "workload_for",
     "consolidate_op",
     "failure_run_op",
+    "telemetry_run_op",
     "server_sim_op",
     "joint_eval_op",
     "network_latency_summary_op",
@@ -230,6 +231,138 @@ def failure_run_op(
         }
     )
     return summary
+
+
+# -- imperfect telemetry -----------------------------------------------------------
+
+
+@task_fn("telemetry-run")
+def telemetry_run_op(
+    *,
+    arity: int,
+    scale_factor: float,
+    background: float,
+    n_epochs: int,
+    n_polls: int,
+    stats_loss_prob: float,
+    stale_prob: float,
+    delay_prob: float,
+    noise_frac: float,
+    guardrail_on: bool,
+    staleness_inflation: float = 0.0,
+    k_max: float = 4.0,
+    n_latency_samples: int = 40,
+    telemetry_seed: int = 0,
+    traffic_seed: int = 0,
+    engine: str = "indexed",
+) -> dict:
+    """Run the controller under lossy telemetry and score its SLA hygiene
+    — the telemetry-robustness-sweep unit of work.
+
+    The background demand ramps from half the target ``background`` up
+    to the full level across the run, so a monitor fed stale or lost
+    stats systematically *under*-predicts the rising load — exactly the
+    regime where an unguarded controller over-shrinks the subnet.  Each
+    epoch:
+
+    1. the optimizer runs on whatever the (degraded) monitor believes;
+    2. the ground-truth tail is measured by replaying the *true* epoch
+       traffic on the committed routing;
+    3. a tail above the network budget counts as an SLA-violation
+       epoch; with ``guardrail_on`` the measurement is also fed to the
+       violation watchdog (rollback / K escalation / cooldown).
+
+    Everything — traffic, telemetry degradation, latency sampling — is
+    rebuilt deterministically from the spec, so results cache and the
+    guardrail-on/off pair differs in nothing but the guardrail.
+    """
+    import numpy as np
+
+    from ..control.guardrail import SlaGuardrail
+    from ..control.kcontrol import ScaleFactorController
+    from ..control.monitor import TrafficMonitor
+    from ..telemetry import DegradedStatsCollector, TelemetryProfile
+
+    workload = workload_for(arity)
+    topo = workload.topology
+    budget_s = workload.network_budget_s
+    profile = TelemetryProfile(
+        stats_loss_prob=stats_loss_prob,
+        stale_prob=stale_prob,
+        delay_prob=delay_prob,
+        noise_frac=noise_frac,
+        seed=telemetry_seed,
+    )
+    collector = DegradedStatsCollector(topo, profile)
+    monitor = TrafficMonitor(
+        window=n_polls, staleness_inflation=staleness_inflation
+    )
+    guardrail = None
+    if guardrail_on:
+        guardrail = SlaGuardrail(
+            budget_s,
+            kcontrol=ScaleFactorController(
+                budget_s, k_initial=scale_factor, k_max=k_max
+            ),
+        )
+    controller = SdnController(
+        GreedyConsolidator(topo, engine=engine),
+        scale_factor=scale_factor,
+        guardrail=guardrail,
+        monitor=monitor,
+    )
+
+    violations = deferred = 0
+    tails_s: list[float] = []
+    switches_on: list[int] = []
+    for epoch in range(n_epochs):
+        ramp = 0.5 + 0.5 * (epoch / max(n_epochs - 1, 1))
+        true_traffic = workload.traffic(
+            background * ramp, seed_or_rng=traffic_seed
+        )
+        try:
+            out = controller.run_epoch(true_traffic)
+            if out.committed:
+                switches_on.append(out.result.n_switches_on)
+        except InfeasibleError:
+            deferred += 1
+        if controller.current_routing is not None:
+            truth = NetworkModel(
+                topo, true_traffic, controller.current_routing, engine=engine
+            )
+            rng = np.random.default_rng(
+                np.random.SeedSequence(
+                    entropy=[traffic_seed & 0xFFFFFFFF, 0x7E1E, epoch]
+                )
+            )
+            tail_s = truth.query_latency_summary(
+                n_per_flow=n_latency_samples, seed_or_rng=rng
+            ).p95
+            tails_s.append(tail_s)
+            if tail_s > budget_s:
+                violations += 1
+            if guardrail is not None:
+                controller.observe_sla(tail_s)
+        # Telemetry for this epoch arrives during it — the *next*
+        # epoch's optimization is the first that can use it.
+        collector.feed(monitor, epoch, true_traffic, n_polls=n_polls)
+
+    return {
+        "epochs": n_epochs,
+        "violation_epochs": violations,
+        "deferred_epochs": deferred,
+        "mean_tail_ms": 1e3 * (sum(tails_s) / len(tails_s)) if tails_s else 0.0,
+        "max_tail_ms": 1e3 * max(tails_s, default=0.0),
+        "avg_switches_on": (
+            sum(switches_on) / len(switches_on) if switches_on else 0.0
+        ),
+        "switch_power_ons": controller.switch_power_on_count,
+        "transition_energy_j": controller.transition_energy_joules,
+        "k_final": controller.scale_factor,
+        "guardrail": guardrail.summary() if guardrail is not None else None,
+        "telemetry": collector.accounting(),
+        "monitor": monitor.telemetry_counters(),
+    }
 
 
 # -- server simulation -------------------------------------------------------------

@@ -27,6 +27,7 @@ from . import (  # noqa: F401  (imported for registry side effects)
     fig14_trace,
     fig15_diurnal,
     scaling,
+    telemetry_robustness,
     validation,
 )
 from .runner import REGISTRY, ExperimentResult, format_table

@@ -70,6 +70,31 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="archive each result as JSON under DIR",
     )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="append crash-safe sweep progress journals under DIR",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve finished tasks from an existing journal (implies --journal)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry crashed/timed-out sweep tasks up to N times (default: 0)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-task wall-clock budget in seconds (enforced when --jobs > 1)",
+    )
     return parser
 
 
@@ -81,6 +106,12 @@ def main(argv: list[str]) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}")
         return 1
+    if args.retries < 0:
+        print(f"--retries must be >= 0, got {args.retries}")
+        return 1
+    if args.resume and args.journal is None:
+        print("--resume requires --journal DIR (the journal to resume from)")
+        return 1
     if args.figure is None:
         print("Available figures:", ", ".join(sorted(REGISTRY)))
         print("Usage: python -m repro.experiments <figure|all> "
@@ -88,7 +119,15 @@ def main(argv: list[str]) -> int:
         return 0
 
     set_context(
-        ExecContext(jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir)
+        ExecContext(
+            jobs=args.jobs,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            journal_dir=args.journal,
+            resume=args.resume,
+            max_retries=args.retries,
+            timeout_s=args.task_timeout,
+        )
     )
 
     names = sorted(REGISTRY) if args.figure == "all" else [args.figure]

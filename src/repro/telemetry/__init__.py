@@ -1,0 +1,20 @@
+"""Imperfect-telemetry modelling for the SDN control plane.
+
+The reproduction's controller originally assumed perfect observation:
+every 2-s stats poll arrived intact and on time.  This package models
+the telemetry a real OpenFlow controller gets — lost stats replies,
+stale counters, bounded counter noise, late batches — as
+seed-deterministic, picklable scenarios that replay through the sweep
+executor exactly like :class:`~repro.faults.FaultSchedule` does for
+device failures.
+"""
+
+from .collector import DegradedStatsCollector, ObservedBatch
+from .profile import PERFECT_TELEMETRY, TelemetryProfile
+
+__all__ = [
+    "TelemetryProfile",
+    "PERFECT_TELEMETRY",
+    "DegradedStatsCollector",
+    "ObservedBatch",
+]

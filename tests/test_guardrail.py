@@ -1,0 +1,232 @@
+"""SLA guardrail: admission gate, watchdog rollback/escalation, hysteresis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consolidation.heuristic import GreedyConsolidator
+from repro.control import (
+    GUARD_COMMITTED,
+    GUARD_ESCALATE,
+    GUARD_HELD,
+    GUARD_NONE,
+    GUARD_REJECTED,
+    GUARD_ROLLBACK,
+    GUARD_VIOLATION,
+    ScaleFactorController,
+    SdnController,
+    SlaGuardrail,
+    TrafficMonitor,
+)
+from repro.errors import ConfigurationError
+from repro.exec.ops import workload_for
+
+BUDGET_S = 5e-3
+
+
+@pytest.fixture()
+def workload():
+    return workload_for(4)
+
+
+@pytest.fixture()
+def traffic(workload):
+    return workload.traffic(0.3, seed_or_rng=11)
+
+
+def make_controller(workload, guarded=True, kcontrol=None, **guard_kw):
+    guardrail = None
+    if guarded:
+        guardrail = SlaGuardrail(BUDGET_S, kcontrol=kcontrol, **guard_kw)
+    controller = SdnController(
+        GreedyConsolidator(workload.topology),
+        scale_factor=2.0,
+        guardrail=guardrail,
+        monitor=TrafficMonitor(window=8),
+    )
+    return controller, guardrail
+
+
+def observe_low_demand(controller, traffic, rate=1.0):
+    """Make the monitor believe every flow is nearly idle."""
+    for flow in traffic:
+        for _ in range(4):
+            controller.monitor.observe(flow.flow_id, rate)
+
+
+class TestSlaGuardrailUnit:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlaGuardrail(0.0)
+        with pytest.raises(ConfigurationError):
+            SlaGuardrail(BUDGET_S, admission_max_utilization=1.5)
+        with pytest.raises(ConfigurationError):
+            SlaGuardrail(BUDGET_S, clear_fraction=1.0, violation_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            SlaGuardrail(BUDGET_S, cooldown_epochs=-1)
+
+    def test_hysteresis_band(self):
+        g = SlaGuardrail(BUDGET_S, violation_fraction=1.0, clear_fraction=0.8)
+        assert g.is_violation(6e-3) and not g.is_violation(5e-3)
+        assert g.is_clear(4e-3) and not g.is_clear(4.5e-3)
+
+    def test_admission_gate(self):
+        g = SlaGuardrail(BUDGET_S, admission_max_utilization=0.9)
+        assert g.admit(0.5, 10, 12) == GUARD_COMMITTED
+        assert g.admit(0.95, 10, 12) == GUARD_REJECTED
+        assert (g.admissions, g.rejections) == (1, 1)
+
+    def test_cooldown_refuses_only_shrinking_commits(self):
+        g = SlaGuardrail(BUDGET_S, cooldown_epochs=2)
+        g.start_cooldown()
+        assert g.admit(0.1, 9, 10) == GUARD_HELD   # shrink refused
+        assert g.admit(0.1, 10, 10) == GUARD_COMMITTED  # hold is fine
+        assert g.admit(0.1, 11, 10) == GUARD_COMMITTED  # growth is fine
+        assert g.holds == 1
+
+    def test_cooldown_ticks_down_on_clear_only(self):
+        g = SlaGuardrail(BUDGET_S, cooldown_epochs=2)
+        g.start_cooldown()
+        g.tick_cooldown(clear=False)
+        assert g.in_cooldown and g.cooldown_left == 2
+        g.tick_cooldown(clear=True)
+        g.tick_cooldown(clear=True)
+        assert not g.in_cooldown
+
+    def test_escalate_k_steps_through_kcontrol(self):
+        kc = ScaleFactorController(BUDGET_S, k_initial=2.0, k_max=3.0)
+        g = SlaGuardrail(BUDGET_S, kcontrol=kc)
+        assert g.escalate_k() == 3.0
+        assert kc.k == 3.0 and kc.adjustments == 1
+        assert g.escalate_k() is None  # already at k_max
+        assert g.escalations == 1
+
+    def test_escalate_without_kcontrol_is_none(self):
+        assert SlaGuardrail(BUDGET_S).escalate_k() is None
+
+
+class TestControllerGuardrail:
+    def test_first_epoch_has_no_gate(self, workload, traffic):
+        controller, _ = make_controller(workload)
+        out = controller.run_epoch(traffic)
+        assert out.guardrail_action == GUARD_NONE
+        assert out.committed
+
+    def test_steady_state_commits(self, workload, traffic):
+        controller, guardrail = make_controller(workload)
+        controller.run_epoch(traffic)
+        out = controller.run_epoch(traffic)
+        assert out.guardrail_action == GUARD_COMMITTED
+        assert 0.0 < out.admission_utilization <= 1.0
+        assert guardrail.admissions == 1
+
+    def test_rejected_commit_keeps_previous_configuration(
+        self, workload, traffic
+    ):
+        controller, guardrail = make_controller(workload)
+        first = controller.run_epoch(traffic)
+        routing_before = controller.current_routing
+        controller._replay_max_utilization = lambda *a, **k: 1.5
+        out = controller.run_epoch(traffic)
+        assert out.guardrail_action == GUARD_REJECTED
+        assert not out.committed
+        assert out.plan.rules.n_changes == 0
+        assert out.plan.devices.is_empty
+        assert controller.current_routing is routing_before
+        assert out.result is first.result
+        assert guardrail.rejections == 1
+
+    def test_clear_measurement_marks_last_good(self, workload, traffic):
+        controller, guardrail = make_controller(workload)
+        controller.run_epoch(traffic)
+        decision = controller.observe_sla(1e-3)
+        assert not decision.violated and decision.action == GUARD_NONE
+        assert guardrail.last_good is not None
+        assert guardrail.last_good[0] is controller.current_routing
+        assert guardrail.decisions == [decision]
+
+    def test_violation_rolls_back_to_last_good(self, workload, traffic):
+        controller, guardrail = make_controller(workload)
+        controller.run_epoch(traffic)
+        controller.observe_sla(1e-3)  # arm: current config is known-good
+        good_routing = controller.current_routing
+        good_subnet = controller.current_subnet
+
+        # A wildly optimistic monitor shrinks the subnet...
+        observe_low_demand(controller, traffic)
+        out = controller.run_epoch(traffic)
+        assert out.committed
+        assert out.result.n_switches_on < good_subnet.n_switches_on
+
+        # ...and the measured violation undoes it.
+        boots_before = controller.switch_power_on_count
+        decision = controller.observe_sla(8e-3)
+        assert decision.violated and decision.action == GUARD_ROLLBACK
+        assert controller.current_routing is good_routing
+        assert controller.current_subnet is good_subnet
+        assert guardrail.rollbacks == 1
+        assert guardrail.in_cooldown
+        # Re-booting the retired switches is charged, not free.
+        assert controller.switch_power_on_count > boots_before
+
+    def test_cooldown_holds_shrinking_epoch_after_rollback(
+        self, workload, traffic
+    ):
+        controller, guardrail = make_controller(workload)
+        controller.run_epoch(traffic)
+        controller.observe_sla(1e-3)
+        observe_low_demand(controller, traffic)
+        controller.run_epoch(traffic)
+        controller.observe_sla(8e-3)  # rollback + cooldown
+        out = controller.run_epoch(traffic)  # monitor still optimistic
+        assert out.guardrail_action == GUARD_HELD
+        assert not out.committed
+        assert guardrail.holds == 1
+
+    def test_violation_at_last_good_escalates_k(self, workload, traffic):
+        kc = ScaleFactorController(BUDGET_S, k_initial=2.0, k_max=4.0)
+        controller, guardrail = make_controller(workload, kcontrol=kc)
+        controller.run_epoch(traffic)
+        # Clear but inside kcontrol's dead band: K stays at 2, the
+        # configuration becomes last-good.
+        controller.observe_sla(3e-3)
+        decision = controller.observe_sla(9e-3)  # violated *at* last-good
+        assert decision.action == GUARD_ESCALATE
+        assert controller.scale_factor == 3.0
+        assert decision.k_after == 3.0
+        assert guardrail.escalations == 1
+
+    def test_violation_with_no_remedy(self, workload, traffic):
+        controller, guardrail = make_controller(workload)  # no kcontrol
+        controller.run_epoch(traffic)
+        controller.observe_sla(1e-3)
+        decision = controller.observe_sla(9e-3)
+        assert decision.action == GUARD_VIOLATION
+        assert guardrail.violation_epochs == 1
+
+    def test_observe_sla_requires_guardrail(self, workload, traffic):
+        controller, _ = make_controller(workload, guarded=False)
+        controller.run_epoch(traffic)
+        with pytest.raises(ConfigurationError, match="requires a guardrail"):
+            controller.observe_sla(1e-3)
+        with pytest.raises(ConfigurationError):
+            make_controller(workload)[0].observe_sla(-1.0)
+
+    def test_failures_invalidate_rollback_target(self, workload, traffic):
+        controller, guardrail = make_controller(workload)
+        controller.run_epoch(traffic)
+        controller.observe_sla(1e-3)
+        assert guardrail.last_good is not None
+        victim = sorted(controller.current_subnet.switches_on)[0]
+        controller.handle_failures(traffic, switches=[victim])
+        assert guardrail.last_good is None
+
+    def test_unguarded_controller_is_unchanged(self, workload, traffic):
+        guarded, _ = make_controller(workload, guarded=True)
+        plain, _ = make_controller(workload, guarded=False)
+        for _ in range(3):
+            a = guarded.run_epoch(traffic)
+            b = plain.run_epoch(traffic)
+            assert a.result.routing.items() == b.result.routing.items()
+            assert a.result.n_switches_on == b.result.n_switches_on
+            assert b.guardrail_action == GUARD_NONE
