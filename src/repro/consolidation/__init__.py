@@ -7,6 +7,7 @@ from .base import (
     validate_exclusions,
     validate_result,
 )
+from .delta import DeltaConsolidator, DeltaStats
 from .elastictree import ElasticTreeConsolidator
 from .heuristic import GreedyConsolidator, route_on_subnet
 from .milp import MilpConsolidator
@@ -19,6 +20,8 @@ __all__ = [
     "validate_exclusions",
     "link_reservation",
     "GreedyConsolidator",
+    "DeltaConsolidator",
+    "DeltaStats",
     "ElasticTreeConsolidator",
     "route_on_subnet",
     "MilpConsolidator",

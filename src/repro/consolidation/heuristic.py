@@ -100,6 +100,12 @@ class GreedyConsolidator(Consolidator):
         # reusable array state — built lazily on first consolidate().
         self._pair_cache: dict[tuple[str, str], tuple] = {}
         self._state: PackingState | None = None
+        # Optional per-flow placement log hook (set by the delta
+        # engine): when not None, each indexed packing attempt clears
+        # it and records (flow, path_set, row, reservations_row) per
+        # placed flow, so the final successful attempt's placements can
+        # seed a warm-startable state.
+        self._placement_log: dict[str, tuple] | None = None
 
     def _paths(self, src: str, dst: str) -> list[tuple[str, ...]]:
         key = (src, dst)
@@ -287,6 +293,9 @@ class GreedyConsolidator(Consolidator):
         state = self._state
         sw_delta, ln_delta = self._activation_deltas()
         masker = self._exclusion_masker(excluded)
+        log = self._placement_log
+        if log is not None:
+            log.clear()
 
         paths: dict[str, tuple[str, ...]] = {}
         for flow in self._ordered_flows(traffic, scale_factor, attempt, priority):
@@ -305,6 +314,8 @@ class GreedyConsolidator(Consolidator):
             row, slack_row = picked
             paths[flow.flow_id] = ps.node_paths[row]
             state.place(ps, row, slack_row)
+            if log is not None:
+                log[flow.flow_id] = (flow, ps, row, reservations[row].copy())
 
         subnet = ActiveSubnet(
             self.topology, state.active_switch_names(), state.active_link_names()

@@ -98,6 +98,9 @@ class EpochOutcome:
     #: Most-loaded directed link when the observed demand was replayed
     #: on the candidate routing (0.0 when no replay ran).
     admission_utilization: float = 0.0
+    #: Per-epoch :class:`~repro.consolidation.delta.DeltaStats` when the
+    #: controller runs in ``mode="delta"``; ``None`` in full mode.
+    delta_stats: object | None = None
 
     @property
     def committed(self) -> bool:
@@ -126,7 +129,17 @@ class SdnController:
         :meth:`set_scale_factor` (the joint optimizer tunes it).
     optimization_period_s:
         Seconds between optimizer runs (600 in the paper).
+    mode:
+        ``"full"`` (default) re-solves every epoch from scratch;
+        ``"delta"`` wraps the consolidator in a
+        :class:`~repro.consolidation.delta.DeltaConsolidator` so epoch
+        cost scales with traffic churn instead of flow count.  Delta
+        mode requires an indexed-engine greedy consolidator (or an
+        already-built :class:`DeltaConsolidator`); the ``delta_*``
+        knobs configure its fallback policy.
     """
+
+    MODES = ("full", "delta")
 
     def __init__(
         self,
@@ -137,11 +150,34 @@ class SdnController:
         milp_fallback_time_limit_s: float | None = None,
         guardrail: SlaGuardrail | None = None,
         monitor: TrafficMonitor | None = None,
+        mode: str = "full",
+        delta_drift_bound: float = 0.25,
+        delta_max_churn_fraction: float = 0.5,
+        delta_full_refresh_epochs: int | None = None,
     ):
         if scale_factor < 1.0:
             raise ConfigurationError(f"scale factor must be >= 1, got {scale_factor}")
         if optimization_period_s <= 0:
             raise ConfigurationError("optimization period must be positive")
+        if mode not in self.MODES:
+            raise ConfigurationError(f"unknown mode {mode!r}; known: {self.MODES}")
+        self.mode = mode
+        self._delta = None
+        if mode == "delta":
+            from ..consolidation.delta import DeltaConsolidator
+
+            if isinstance(consolidator, DeltaConsolidator):
+                self._delta = consolidator
+                consolidator = consolidator.inner
+            else:
+                # DeltaConsolidator validates that this is an
+                # indexed-engine GreedyConsolidator.
+                self._delta = DeltaConsolidator(
+                    consolidator,
+                    drift_bound=delta_drift_bound,
+                    max_churn_fraction=delta_max_churn_fraction,
+                    full_refresh_epochs=delta_full_refresh_epochs,
+                )
         self.consolidator = consolidator
         self.scale_factor = scale_factor
         self.optimization_period_s = optimization_period_s
@@ -180,6 +216,26 @@ class SdnController:
     @property
     def current_subnet(self) -> ActiveSubnet | None:
         return self._subnet
+
+    @property
+    def delta(self):
+        """The :class:`~repro.consolidation.delta.DeltaConsolidator`
+        driving epochs in ``mode="delta"`` (``None`` in full mode)."""
+        return self._delta
+
+    def telemetry_counters(self) -> dict:
+        """Monitor + controller + delta-engine counters, one payload.
+
+        Extends the monitor's gap/eviction accounting with the
+        controller's transition/fallback tallies and — in delta mode —
+        the delta engine's epoch/fallback breakdown under ``"delta"``.
+        """
+        out = self.monitor.telemetry_counters()
+        out["milp_fallbacks"] = self.milp_fallback_count
+        out["switch_power_ons"] = self.switch_power_on_count
+        if self._delta is not None:
+            out["delta"] = self._delta.counters()
+        return out
 
     def set_scale_factor(self, k: float) -> None:
         """Adopt a new scale factor for subsequent epochs (the joint
@@ -230,8 +286,9 @@ class SdnController:
         if self.failed_switches or self.failed_links:
             kwargs["excluded_switches"] = frozenset(self.failed_switches)
             kwargs["excluded_links"] = frozenset(self.failed_links)
+        solver = self._delta if self._delta is not None else self.consolidator
         try:
-            return self.consolidator.consolidate(predicted, self.scale_factor, **kwargs), False
+            return solver.consolidate(predicted, self.scale_factor, **kwargs), False
         except InfeasibleError:
             if self.milp_fallback_time_limit_s is None:
                 raise
@@ -251,6 +308,10 @@ class SdnController:
                 excluded_links=frozenset(self.failed_links),
             )
             self.milp_fallback_count += 1
+            if self._delta is not None:
+                # The adopted routing came from the MILP, not the delta
+                # engine's packing state — its warm start is stale.
+                self._delta.invalidate("milp_fallback")
             return result, True
 
     def run_epoch(self, offered_traffic: TrafficSet) -> EpochOutcome:
@@ -289,6 +350,11 @@ class SdnController:
                 # The candidate cannot carry the measured load (or a
                 # cooldown is in force): keep the current configuration
                 # untouched — an empty plan, no transitions charged.
+                if self._delta is not None:
+                    # The warm state now mirrors a candidate that was
+                    # never installed; warm-starting the next epoch
+                    # from it would keep refining a rejected plan.
+                    self._delta.invalidate("uncommitted_candidate")
                 outcome = EpochOutcome(
                     epoch=self._epoch,
                     result=self._result,
@@ -301,6 +367,7 @@ class SdnController:
                     milp_fallback=used_fallback,
                     guardrail_action=guard_action,
                     admission_utilization=admission_util,
+                    delta_stats=self._delta.last_stats if self._delta else None,
                 )
                 self._epoch += 1
                 return outcome
@@ -326,6 +393,7 @@ class SdnController:
             milp_fallback=used_fallback,
             guardrail_action=guard_action,
             admission_utilization=admission_util,
+            delta_stats=self._delta.last_stats if self._delta else None,
         )
         self._epoch += 1
         return outcome
@@ -423,6 +491,10 @@ class SdnController:
         self._routing = routing
         self._subnet = subnet
         self._result = result
+        if self._delta is not None:
+            # The installed configuration just jumped to a historical
+            # snapshot the delta engine never packed.
+            self._delta.invalidate("rollback")
 
     # -- failure handling ---------------------------------------------------------------
 
@@ -557,7 +629,14 @@ class SdnController:
                 scale_factor=1.0,
                 safety_margin_bps=self.consolidator.safety_margin_bps,
                 failed_links=frozenset(self.failed_links),
+                warm_state=self._delta,
             )
+            if self._delta is not None:
+                # Repair rewrote routes outside the delta engine's
+                # packing state (re-consolidation below refreshes the
+                # warm state itself, so only this rung — and safe mode
+                # — invalidates).
+                self._delta.invalidate("fault_repair")
             return REPAIR_LOCAL, repair.routing, repair.subnet
         except InfeasibleError:
             pass
@@ -581,4 +660,6 @@ class SdnController:
             scale_factor=1.0,
             safety_margin_bps=self.consolidator.safety_margin_bps,
         )
+        if self._delta is not None:
+            self._delta.invalidate("safe_mode")
         return REPAIR_SAFE_MODE, result.routing, result.subnet

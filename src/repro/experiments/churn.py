@@ -30,7 +30,12 @@ def run(
     epoch_minutes: int = 10,
     mean_lifetime_epochs: float = 4.0,
     seed: int = 2,
+    mode: str = "full",
 ) -> ExperimentResult:
+    """``mode="delta"`` runs the controller on the warm-started
+    delta-consolidation engine (churn-proportional epoch cost); the
+    default ``"full"`` re-solves every epoch and is what the registered
+    ``churn`` experiment and the scaling-validation suite pin."""
     ft = FatTree(4)
     workload = SearchWorkload(ft)
     trace = synth_diurnal_trace(seed_or_rng=seed).subsampled(epoch_minutes)
@@ -60,7 +65,10 @@ def run(
             ft, mean_lifetime_epochs=mean_lifetime_epochs, seed_or_rng=seed
         )
         controller = SdnController(
-            GreedyConsolidator(ft), scale_factor=k, milp_fallback_time_limit_s=60.0
+            GreedyConsolidator(ft),
+            scale_factor=k,
+            milp_fallback_time_limit_s=60.0,
+            mode=mode,
         )
         switches, rule_changes, infeasible = [], [], 0
         query_flows = workload.query_flows()

@@ -26,8 +26,15 @@ leftmost tie-breaking), which ``tests/test_netfast_equivalence.py``
 enforces.
 """
 
-from .index import PathSet, TopologyIndex, topology_index
+from .index import PathSet, TopologyIndex, clear_index_registry, topology_index
 from .packing import PackingState
 from .routing import RoutingMatrix
 
-__all__ = ["TopologyIndex", "PathSet", "topology_index", "RoutingMatrix", "PackingState"]
+__all__ = [
+    "TopologyIndex",
+    "PathSet",
+    "topology_index",
+    "clear_index_registry",
+    "RoutingMatrix",
+    "PackingState",
+]

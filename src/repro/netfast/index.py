@@ -29,7 +29,7 @@ import numpy as np
 from ..topology.graph import Topology, canonical_link
 from ..topology.paths import shortest_paths
 
-__all__ = ["PathSet", "TopologyIndex", "topology_index"]
+__all__ = ["PathSet", "TopologyIndex", "topology_index", "clear_index_registry"]
 
 
 @dataclass(frozen=True)
@@ -146,11 +146,44 @@ class TopologyIndex:
 #: its path-set cache) without keeping dead topologies alive.
 _TOPO_REFS: "weakref.WeakKeyDictionary[Topology, TopologyIndex]" = weakref.WeakKeyDictionary()
 
+#: Content-fingerprint registry (the ``simfast.shared_table_engine``
+#: pattern): distinct Topology objects with identical structure — the
+#: common case when benchmarks and sweep tasks rebuild the same
+#: fat-tree per run — share one compiled index and its path-set cache
+#: instead of re-deriving the dense matrices from scratch.  Bounded,
+#: insertion-ordered LRU; entries keep their origin topology alive via
+#: ``TopologyIndex.topology``, which is why the bound stays small.
+_CONTENT_REGISTRY: dict[str, TopologyIndex] = {}
+_MAX_CONTENT_ENTRIES = 8
+
 
 def topology_index(topology: Topology) -> TopologyIndex:
-    """The shared :class:`TopologyIndex` for ``topology``."""
+    """The shared :class:`TopologyIndex` for ``topology``.
+
+    Resolution is two-level: an identity hit is free; otherwise the
+    topology's content :meth:`~repro.topology.graph.Topology.fingerprint`
+    is looked up in a process-wide registry, so a content-identical
+    topology built by another consolidator/benchmark run reuses the
+    already-compiled matrices (and every cached path set).  Only on a
+    genuinely new structure is an index built.
+    """
     idx = _TOPO_REFS.get(topology)
     if idx is None:
-        idx = TopologyIndex(topology)
+        key = topology.fingerprint()
+        idx = _CONTENT_REGISTRY.pop(key, None)
+        if idx is None:
+            idx = TopologyIndex(topology)
+            while len(_CONTENT_REGISTRY) >= _MAX_CONTENT_ENTRIES:
+                del _CONTENT_REGISTRY[next(iter(_CONTENT_REGISTRY))]
+        _CONTENT_REGISTRY[key] = idx
         _TOPO_REFS[topology] = idx
     return idx
+
+
+def clear_index_registry() -> None:
+    """Drop the content-keyed index registry (tests / memory pressure).
+
+    Identity-keyed entries are weak and clear themselves; live
+    topologies re-register on the next :func:`topology_index` call.
+    """
+    _CONTENT_REGISTRY.clear()

@@ -85,6 +85,11 @@ class PackingState:
         self.residual = self._residual0.copy()
         self.switch_active = self._switch_active0.copy()
         self.ulink_active = self._ulink_active0.copy()
+        #: Per-device placed-flow reference counts (delta engine only;
+        #: allocated by :meth:`clear_refcounts`).  ``None`` on the plain
+        #: full-solve path, which never removes individual flows.
+        self.switch_refs: np.ndarray | None = None
+        self.ulink_refs: np.ndarray | None = None
 
     # -- candidate pricing ------------------------------------------------------
 
@@ -144,6 +149,61 @@ class PackingState:
         if ps.switch_nodes.shape[1]:
             self.switch_active[ps.switch_nodes[row]] = True
         self.ulink_active[ps.ulinks[row]] = True
+
+    # -- incremental removal (delta consolidation) -----------------------------
+
+    def clear_refcounts(self) -> None:
+        """Allocate (or zero) per-device placement reference counts.
+
+        The delta engine needs to *remove* individual flows from a
+        packed state: a switch/link stays active while any other placed
+        flow still traverses it, so membership is a refcount on top of
+        the baseline-active devices (host attachments / allowed
+        subnet), not a plain boolean.
+        """
+        self.switch_refs = np.zeros(self.index.n_nodes, dtype=np.int64)
+        self.ulink_refs = np.zeros(self.index.n_ulinks, dtype=np.int64)
+
+    def count_placement(self, ps: PathSet, row: int) -> None:
+        """Register one already-placed flow's devices in the refcounts.
+
+        Used to rebuild refcounts from a full solve's placement log;
+        paths are simple (no repeated node/link), so plain fancy-index
+        increments are exact.
+        """
+        self.ulink_refs[ps.ulinks[row]] += 1
+        if ps.switch_nodes.shape[1]:
+            self.switch_refs[ps.switch_nodes[row]] += 1
+
+    def place_tracked(self, ps: PathSet, row: int, slack_row: np.ndarray) -> None:
+        """:meth:`place` plus refcount maintenance (delta placements)."""
+        self.place(ps, row, slack_row)
+        self.count_placement(ps, row)
+
+    def remove_placement(
+        self, ps: PathSet, row: int, reservations_row: np.ndarray
+    ) -> None:
+        """Undo one placed flow: residual add-back + refcounted deactivation.
+
+        ``reservations_row`` must be the exact per-hop reservations the
+        flow was placed with.  Devices whose refcount drops to zero
+        fall back to the baseline-active state (host attachments and
+        allowed-subnet devices never turn off).  O(hops), independent
+        of the number of placed flows — the property the delta engine's
+        churn-proportional epochs rest on.
+        """
+        self.residual[ps.dlinks[row]] += reservations_row
+        ul = ps.ulinks[row]
+        self.ulink_refs[ul] -= 1
+        self.ulink_active[ul] = self._ulink_active0[ul] | (self.ulink_refs[ul] > 0)
+        if ps.switch_nodes.shape[1]:
+            sw = ps.switch_nodes[row]
+            self.switch_refs[sw] -= 1
+            self.switch_active[sw] = self._switch_active0[sw] | (self.switch_refs[sw] > 0)
+
+    def residual_snapshot(self) -> np.ndarray:
+        """An independent copy of the per-directed-link residuals."""
+        return self.residual.copy()
 
     # -- result extraction ------------------------------------------------------
 

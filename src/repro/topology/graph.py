@@ -85,6 +85,7 @@ class Topology:
         )
         self._links = tuple(sorted(canonical_link(u, v) for u, v in graph.edges()))
         self._switches_by_kind: dict[str, tuple[str, ...]] = {}
+        self._fingerprint: str | None = None
 
     # -- structural accessors ------------------------------------------------
 
@@ -149,6 +150,30 @@ class Topology:
 
     def has_link(self, u: str, v: str) -> bool:
         return self._graph.has_edge(u, v)
+
+    def fingerprint(self) -> str:
+        """Content digest of the physical graph (nodes, kinds, capacities).
+
+        Two topologies with equal fingerprints are interchangeable for
+        every pure-topology computation — node names, kinds, link set
+        and per-link capacities all match — which is what lets compiled
+        :class:`~repro.netfast.index.TopologyIndex` instances be shared
+        across distinct but content-identical ``Topology`` objects
+        (sweep tasks and benchmarks rebuild the same fat-tree over and
+        over).  Computed once and cached; the graph is frozen.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            for node in self._hosts:
+                h.update(f"h:{node}\0".encode())
+            for node in self._switches:
+                h.update(f"s:{node}:{self._kind[node]}\0".encode())
+            for u, v in self._links:
+                h.update(f"l:{u}:{v}:{self.capacity(u, v)!r}\0".encode())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def attachment_switch(self, host: str) -> str:
         """The single switch a host attaches to."""
