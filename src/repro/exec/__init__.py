@@ -22,30 +22,53 @@ at every ``jobs`` level because task ops are pure functions of their
 spec and outcomes are reassembled in task order.
 """
 
-from .cache import ResultCache, cached_call, code_salt
+from .cache import ResultCache, cached_call, code_salt, probe_point
 from .context import ExecContext, get_context, set_context, use_context
 from .executor import SweepExecutionError, TaskOutcome, run_sweep, sweep_stats
 from .journal import RetryPolicy, RunJournal
-from .registry import resolve_task_fn, task_fn
-from .tasks import SweepTask, canonical_json, derive_seed, spec_digest
+from .registry import (
+    preload_ops,
+    register_batchable,
+    resolve_task_fn,
+    task_fn,
+)
+from .shm import (
+    SharedArtifactStore,
+    ShmManifest,
+    attach_manifests,
+    shared_store,
+    shutdown_shared_store,
+    sweep_orphans,
+)
+from .tasks import BatchTask, SweepTask, canonical_json, derive_seed, spec_digest
 
 __all__ = [
+    "BatchTask",
     "ExecContext",
     "ResultCache",
     "RetryPolicy",
     "RunJournal",
+    "SharedArtifactStore",
+    "ShmManifest",
     "SweepExecutionError",
     "SweepTask",
     "TaskOutcome",
+    "attach_manifests",
     "cached_call",
     "canonical_json",
     "code_salt",
     "derive_seed",
     "get_context",
+    "preload_ops",
+    "probe_point",
+    "register_batchable",
     "resolve_task_fn",
     "run_sweep",
     "set_context",
+    "shared_store",
+    "shutdown_shared_store",
     "spec_digest",
+    "sweep_orphans",
     "sweep_stats",
     "task_fn",
     "use_context",

@@ -39,7 +39,7 @@ from ..topology.aggregation import aggregation_policy
 from ..topology.fattree import FatTree
 from ..workloads.search import SearchWorkload
 from .cache import cached_call
-from .registry import task_fn
+from .registry import register_batchable, task_fn
 
 __all__ = [
     "governor_factory",
@@ -49,6 +49,8 @@ __all__ = [
     "telemetry_run_op",
     "server_sim_op",
     "joint_eval_op",
+    "joint_eval_batch_op",
+    "publish_joint_artifacts",
     "network_latency_summary_op",
     "diurnal_profile_op",
     "GOVERNOR_NAMES",
@@ -461,6 +463,167 @@ def joint_eval_op(
         governor_factory(governor, workload),
         params=params,
     )
+
+
+#: The params a fused joint-eval group must share (they determine the
+#: hoisted work: the consolidation solve and the traffic build) vs the
+#: ones that vary per point.
+_JOINT_SHARED = ("arity", "background", "level", "params", "traffic_seed")
+_JOINT_POINT = ("constraint_ms", "governor", "utilization")
+
+
+@task_fn("joint-eval-batch", cache=False)
+def joint_eval_batch_op(
+    *,
+    arity: int,
+    background: float,
+    level: int,
+    params: JointSimParams,
+    traffic_seed: int,
+    points: tuple,
+) -> list[dict]:
+    """Vectorized joint evaluation: one fused pass over a (constraint,
+    governor, utilization) grid that shares its consolidation + traffic.
+
+    Each ``points`` entry is a ``((name, value), ...)`` tuple over
+    ``constraint_ms`` / ``governor`` / ``utilization``.  The scalar
+    :func:`joint_eval_op` solves the identical consolidation and builds
+    the identical traffic *per point*; here they are hoisted and solved
+    once for the whole grid — the latency constraint affects neither
+    (``SearchWorkload.traffic`` ignores it, and ``with_constraint`` is
+    a field replace on the same topology/service model), so every point
+    value is bit-identical to its scalar twin.
+
+    Returns one executor payload dict per point, aligned with
+    ``points``.  Cache entries are written under each point's *scalar*
+    ``joint-eval`` key (this op itself is registered ``cache=False``),
+    so warm scalar runs, journals and ``--resume`` see no difference.
+    """
+    from time import perf_counter
+
+    from .cache import (
+        STATUS_INFEASIBLE,
+        STATUS_OK,
+        ResultCache,
+        probe_point,
+    )
+    from .context import get_context
+
+    ctx = get_context()
+    cache = ResultCache(ctx.resolved_cache_dir(), enabled=ctx.cache)
+    shared = dict(
+        arity=arity, background=background, level=level,
+        params=params, traffic_seed=traffic_seed,
+    )
+    specs = [{**shared, **dict(point)} for point in points]
+    payloads: list[dict | None] = [None] * len(points)
+    todo: list[int] = []
+    for i, spec in enumerate(specs):
+        payloads[i] = probe_point(cache, "joint-eval", spec)
+        if payloads[i] is None:
+            todo.append(i)
+    if not todo:
+        return payloads
+
+    try:
+        consolidation = _cached_consolidation(
+            arity=arity, scheme="aggregation", level=level,
+            background=background, traffic_seed=traffic_seed,
+        )
+    except InfeasibleError as err:
+        # The whole group shares this solve: every pending point is the
+        # same legitimate "cannot support" answer the scalar op gives.
+        for i in todo:
+            cache.store("joint-eval", specs[i], STATUS_INFEASIBLE, str(err))
+            payloads[i] = {
+                "status": STATUS_INFEASIBLE,
+                "error": str(err),
+                "error_type": type(err).__name__,
+            }
+        return payloads
+
+    base = workload_for(arity)
+    traffic = base.traffic(background, seed_or_rng=traffic_seed)
+    for i in todo:
+        spec = specs[i]
+        start = perf_counter()
+        try:
+            workload = base.with_constraint(spec["constraint_ms"] * 1e-3)
+            value = evaluate_operating_point(
+                workload,
+                traffic,
+                consolidation,
+                spec["utilization"],
+                governor_factory(spec["governor"], workload),
+                params=params,
+            )
+        except InfeasibleError as err:
+            cache.store("joint-eval", spec, STATUS_INFEASIBLE, str(err))
+            payloads[i] = {
+                "status": STATUS_INFEASIBLE,
+                "error": str(err),
+                "error_type": type(err).__name__,
+                "duration_s": perf_counter() - start,
+            }
+        except Exception as err:  # noqa: BLE001 — one bad point must not
+            # poison its batch siblings; the executor retries it scalar.
+            import traceback
+
+            payloads[i] = {
+                "status": "error",
+                "error": str(err),
+                "error_type": type(err).__name__,
+                "tb": traceback.format_exc(),
+                "duration_s": perf_counter() - start,
+            }
+        else:
+            cache.store("joint-eval", spec, STATUS_OK, value)
+            payloads[i] = {
+                "status": STATUS_OK,
+                "value": value,
+                "duration_s": perf_counter() - start,
+            }
+    return payloads
+
+
+register_batchable(
+    "joint-eval", "joint-eval-batch", shared=_JOINT_SHARED, point=_JOINT_POINT
+)
+
+
+def publish_joint_artifacts(
+    arity: int,
+    backgrounds,
+    traffic_seed: int = 1,
+    table_k_max: int = 32,
+) -> list:
+    """Parent-side prewarm + publish for joint sweeps (fig13 /
+    datacenter-scale drivers call this before fanning out).
+
+    Warms the full-topology index with the path sets of every flow the
+    sweep's traffic will route (aggregation subnets restrict via path
+    masks over the *same* index, so one warm covers every level), seeds
+    the idle-head VP table stack, and publishes both to the shared-
+    memory store.  Workers then attach instead of re-deriving.  Pure
+    prewarm: no publication changes any computed value.
+    """
+    from ..netfast.index import publish_shared_index, topology_index
+    from ..simfast.tables import publish_shared_tables, shared_table_engine
+
+    workload = workload_for(arity)
+    index = topology_index(workload.topology)
+    for bg in backgrounds:
+        traffic = workload.traffic(bg, seed_or_rng=traffic_seed)
+        for flow in traffic:
+            index.path_set(flow.src, flow.dst)
+    manifests = []
+    manifest = publish_shared_index(index)
+    if manifest is not None:
+        manifests.append(manifest)
+    engine = shared_table_engine(workload.service_model, XEON_LADDER)
+    engine.stack(None, table_k_max)
+    manifests.extend(publish_shared_tables())
+    return manifests
 
 
 # -- network latency summaries -----------------------------------------------------

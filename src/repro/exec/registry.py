@@ -4,44 +4,133 @@ Worker processes receive a :class:`~repro.exec.tasks.SweepTask` naming
 its function by registry key — closures and lambdas do not survive
 pickling, registered module-level functions do.  Keys resolve lazily:
 if a key is unknown, the standard op modules are imported (which
-registers them) before failing.
+registers them) before failing.  Pool workers call :func:`preload_ops`
+once from their initializer instead, so per-task resolution is a plain
+dict lookup.
+
+Two side registries ride along:
+
+* ``cache=False`` ops (fused batch dispatchers) are excluded from
+  whole-result memoization — they cache per *member* point themselves,
+  and storing the fused envelope too would duplicate every byte;
+* :func:`register_batchable` declares that a scalar op has a fused
+  twin: tasks sharing the declared ``shared`` params can be dispatched
+  as one batch call over their remaining ("point") params.  The
+  executor consults this to fuse cache-miss runs; see
+  :func:`~repro.exec.executor.run_sweep`.
 """
 
 from __future__ import annotations
 
 import importlib
 from collections.abc import Callable
+from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 
-__all__ = ["task_fn", "resolve_task_fn", "TASK_FUNCTIONS"]
+__all__ = [
+    "task_fn",
+    "resolve_task_fn",
+    "preload_ops",
+    "register_batchable",
+    "batchable_for",
+    "op_is_cached",
+    "TASK_FUNCTIONS",
+]
 
 #: registry key -> callable(**params) -> picklable result.
 TASK_FUNCTIONS: dict[str, Callable] = {}
 
+#: Keys whose whole-call results must NOT be memoized by the executor.
+_UNCACHED: set[str] = set()
+
 #: Modules imported on a failed lookup to populate the registry.
 _OP_MODULES = ("repro.exec.ops",)
 
+#: Times this process ran an op-module import pass (the spawn-count
+#: regression metric: must be 1 per worker, not 1 per task).
+PRELOAD_PASSES = 0
 
-def task_fn(key: str):
-    """Decorator: register a module-level function as a task op."""
+_PRELOADED = False
+
+
+@dataclass(frozen=True)
+class BatchableSpec:
+    """How a scalar op fuses: the batch op key, the params every fused
+    member must share, and the per-member point params."""
+
+    batch_fn: str
+    shared: tuple[str, ...]
+    point: tuple[str, ...]
+
+    @property
+    def all_params(self) -> frozenset[str]:
+        return frozenset(self.shared) | frozenset(self.point)
+
+
+#: scalar op key -> its fused dispatch spec.
+_BATCHABLE: dict[str, BatchableSpec] = {}
+
+
+def task_fn(key: str, cache: bool = True):
+    """Decorator: register a module-level function as a task op.
+
+    ``cache=False`` marks ops whose results the executor must not
+    memoize wholesale (batch dispatchers that cache per-point).
+    """
 
     def wrap(fn):
         existing = TASK_FUNCTIONS.get(key)
         if existing is not None and existing is not fn:
             raise ConfigurationError(f"task function {key!r} registered twice")
         TASK_FUNCTIONS[key] = fn
+        if not cache:
+            _UNCACHED.add(key)
         return fn
 
     return wrap
+
+
+def register_batchable(
+    scalar_fn: str, batch_fn: str, shared: tuple[str, ...], point: tuple[str, ...]
+) -> None:
+    """Declare ``batch_fn`` as the fused twin of ``scalar_fn``."""
+    spec = BatchableSpec(batch_fn=batch_fn, shared=tuple(shared), point=tuple(point))
+    existing = _BATCHABLE.get(scalar_fn)
+    if existing is not None and existing != spec:
+        raise ConfigurationError(f"batchable spec for {scalar_fn!r} registered twice")
+    _BATCHABLE[scalar_fn] = spec
+
+
+def batchable_for(scalar_fn: str) -> BatchableSpec | None:
+    """The fused-dispatch spec of a scalar op, if one is registered."""
+    return _BATCHABLE.get(scalar_fn)
+
+
+def op_is_cached(key: str) -> bool:
+    return key not in _UNCACHED
+
+
+def preload_ops() -> None:
+    """Import every op module once (pool-initializer hook).
+
+    Idempotent per process; makes all later :func:`resolve_task_fn`
+    calls plain dict lookups.
+    """
+    global _PRELOADED, PRELOAD_PASSES
+    if _PRELOADED:
+        return
+    for module in _OP_MODULES:
+        importlib.import_module(module)
+    PRELOAD_PASSES += 1
+    _PRELOADED = True
 
 
 def resolve_task_fn(key: str) -> Callable:
     """Look up a task function, importing op modules on first miss."""
     fn = TASK_FUNCTIONS.get(key)
     if fn is None:
-        for module in _OP_MODULES:
-            importlib.import_module(module)
+        preload_ops()
         fn = TASK_FUNCTIONS.get(key)
     if fn is None:
         raise ConfigurationError(

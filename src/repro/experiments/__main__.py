@@ -95,6 +95,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="per-task wall-clock budget in seconds (enforced when --jobs > 1)",
     )
+    parser.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="disable the shared-memory artifact fabric (workers rebuild "
+        "topology indexes / VP tables from spec; bit-identical reference mode)",
+    )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable fused batch dispatch of joint sweeps (scalar tasks "
+        "only; bit-identical reference mode)",
+    )
     return parser
 
 
@@ -127,6 +139,8 @@ def main(argv: list[str]) -> int:
             resume=args.resume,
             max_retries=args.retries,
             timeout_s=args.task_timeout,
+            shm=not args.no_shm,
+            batch=not args.no_batch,
         )
     )
 

@@ -15,43 +15,26 @@ on the assembled outcomes.
 from __future__ import annotations
 
 from ..core.joint import JointSimParams
-from ..exec import SweepTask, run_sweep
+from ..exec import SweepTask, get_context, run_sweep
 from ..topology.aggregation import AGGREGATION_LEVELS
 from ..topology.fattree import FatTree
 from .runner import ExperimentResult, register
 
-__all__ = ["run"]
+__all__ = ["build_tasks", "run"]
 
 
-def run(
+def build_tasks(
     arities=(4, 6),
     background: float = 0.2,
     utilization: float = 0.3,
     duration_s: float = 8.0,
     seed: int = 1,
-) -> ExperimentResult:
-    result = ExperimentResult(
-        figure="datacenter-scale",
-        title="Joint savings across fat-tree arities (k=4 vs k=6)",
-        columns=(
-            "k",
-            "servers",
-            "switches",
-            "best_level",
-            "eprons_total_w",
-            "no_pm_total_w",
-            "saving_pct",
-            "sla_met",
-        ),
-        notes=(
-            "The EPRONS decision structure (minimal feasible subnet + "
-            "average-VP DVFS) and the relative saving carry over as the "
-            "fabric grows."
-        ),
-    )
-    trees = {k: FatTree(k) for k in arities}
+) -> list[SweepTask]:
+    """The datacenter-scale sweep grid as tasks (also used by
+    bench_joint to count fused dispatch units)."""
     tasks = []
-    for k, ft in trees.items():
+    for k in arities:
+        ft = FatTree(k)
         params = JointSimParams(
             n_servers=ft.n_hosts,
             sim_cores=1,
@@ -88,6 +71,46 @@ def run(
                 traffic_seed=seed,
             )
         )
+    return tasks
+
+
+def run(
+    arities=(4, 6),
+    background: float = 0.2,
+    utilization: float = 0.3,
+    duration_s: float = 8.0,
+    seed: int = 1,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        figure="datacenter-scale",
+        title="Joint savings across fat-tree arities (k=4 vs k=6)",
+        columns=(
+            "k",
+            "servers",
+            "switches",
+            "best_level",
+            "eprons_total_w",
+            "no_pm_total_w",
+            "saving_pct",
+            "sla_met",
+        ),
+        notes=(
+            "The EPRONS decision structure (minimal feasible subnet + "
+            "average-VP DVFS) and the relative saving carry over as the "
+            "fabric grows."
+        ),
+    )
+    trees = {k: FatTree(k) for k in arities}
+    tasks = build_tasks(arities, background, utilization, duration_s, seed)
+
+    ctx = get_context()
+    if ctx.jobs > 1 and ctx.shm:
+        # Publish each arity's compiled topology index + the VP tables
+        # once; pool workers attach by content key instead of rebuilding.
+        from ..exec.ops import publish_joint_artifacts
+
+        for k in arities:
+            publish_joint_artifacts(k, (background,), traffic_seed=seed)
 
     # Reassemble per arity: cheapest SLA-meeting level vs the no-PM baseline.
     best: dict[int, tuple[int, object]] = {}

@@ -21,7 +21,7 @@ of a background level route the network exactly once.
 from __future__ import annotations
 
 from ..core.joint import JointSimParams
-from ..exec import SweepTask, run_sweep
+from ..exec import SweepTask, get_context, run_sweep
 from ..topology.aggregation import AGGREGATION_LEVELS
 from ..units import to_ms
 from .runner import ExperimentResult, register
@@ -32,7 +32,7 @@ DEFAULT_BACKGROUNDS = (0.01, 0.2, 0.5)
 DEFAULT_CONSTRAINTS_MS = (19.0, 22.0, 25.0, 28.0, 31.0, 34.0, 37.0, 40.0)
 
 
-def run(
+def build_tasks(
     backgrounds=DEFAULT_BACKGROUNDS,
     constraints_ms=DEFAULT_CONSTRAINTS_MS,
     levels=AGGREGATION_LEVELS,
@@ -40,28 +40,10 @@ def run(
     params: JointSimParams | None = None,
     include_no_pm: bool = True,
     seed: int = 1,
-) -> ExperimentResult:
+) -> list[SweepTask]:
+    """The fig13 sweep grid as tasks (also used by bench_joint to
+    count fused dispatch units without re-deriving the grid)."""
     params = params or JointSimParams(sim_cores=2, duration_s=15.0, warmup_s=3.0)
-    result = ExperimentResult(
-        figure="fig13",
-        title="Total system power vs constraint, aggregation and background (30% util)",
-        columns=(
-            "background_pct",
-            "constraint_ms",
-            "scheme",
-            "total_w",
-            "network_w",
-            "server_w",
-            "p95_ms",
-            "sla_met",
-        ),
-        notes=(
-            "Paper: aggregation 3 minimizes power at light background; "
-            "between ~29-31 ms at 20% background, turning a switch on "
-            "(agg 3 -> agg 2) lowers total power; at 50% background the "
-            "deep aggregations become infeasible."
-        ),
-    )
 
     def _task(bg, L_ms, scheme_name, level, governor):
         return SweepTask.make(
@@ -84,6 +66,51 @@ def run(
                 tasks.append(_task(bg, L_ms, f"aggregation-{level}", level, "eprons-server"))
             if include_no_pm:
                 tasks.append(_task(bg, L_ms, "no-pm", 0, "no-pm"))
+    return tasks
+
+
+def run(
+    backgrounds=DEFAULT_BACKGROUNDS,
+    constraints_ms=DEFAULT_CONSTRAINTS_MS,
+    levels=AGGREGATION_LEVELS,
+    utilization: float = 0.3,
+    params: JointSimParams | None = None,
+    include_no_pm: bool = True,
+    seed: int = 1,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        figure="fig13",
+        title="Total system power vs constraint, aggregation and background (30% util)",
+        columns=(
+            "background_pct",
+            "constraint_ms",
+            "scheme",
+            "total_w",
+            "network_w",
+            "server_w",
+            "p95_ms",
+            "sla_met",
+        ),
+        notes=(
+            "Paper: aggregation 3 minimizes power at light background; "
+            "between ~29-31 ms at 20% background, turning a switch on "
+            "(agg 3 -> agg 2) lowers total power; at 50% background the "
+            "deep aggregations become infeasible."
+        ),
+    )
+
+    tasks = build_tasks(
+        backgrounds, constraints_ms, levels, utilization, params,
+        include_no_pm, seed,
+    )
+
+    ctx = get_context()
+    if ctx.jobs > 1 and ctx.shm:
+        # Publish the compiled topology index + VP tables once; pool
+        # workers attach by content key instead of rebuilding them.
+        from ..exec.ops import publish_joint_artifacts
+
+        publish_joint_artifacts(4, backgrounds, traffic_seed=seed)
 
     for outcome in run_sweep(tasks):
         if outcome.infeasible:

@@ -37,6 +37,7 @@ class FlowChurnModel:
         mean_lifetime_epochs: float = 4.0,
         demand_jitter: float = 0.15,
         max_demand_fraction: float = 0.75,
+        flows_per_host: float = 1.0,
         seed_or_rng=None,
     ):
         if mean_lifetime_epochs < 1.0:
@@ -45,11 +46,22 @@ class FlowChurnModel:
             raise ConfigurationError("demand jitter must lie in [0, 1)")
         if not 0.0 < max_demand_fraction <= 1.0:
             raise ConfigurationError("max demand fraction must lie in (0, 1]")
+        if flows_per_host <= 0.0:
+            raise ConfigurationError(f"flows_per_host must be > 0, got {flows_per_host}")
         hosts = list(topology.hosts)
         if len(hosts) < 2:
             raise ConfigurationError("flow churn needs at least two hosts")
         self.topology = topology
-        self.n_flows = n_flows if n_flows is not None else len(hosts)
+        #: Population density when ``n_flows`` is not given explicitly:
+        #: the population is sized at ``round(n_hosts * flows_per_host)``
+        #: (at least 1).  The default of 1.0 keeps the historical
+        #: one-elephant-per-host sizing — and every golden hash — intact;
+        #: raising it stresses the delta engine and the rule differ with
+        #: denser churn.
+        self.flows_per_host = flows_per_host
+        self.n_flows = (
+            n_flows if n_flows is not None else max(1, round(len(hosts) * flows_per_host))
+        )
         if self.n_flows <= 0:
             raise ConfigurationError("n_flows must be positive")
         self.mean_lifetime_epochs = mean_lifetime_epochs

@@ -244,6 +244,34 @@ class TestControllerPlumbing:
         with pytest.raises(ConfigurationError):
             SdnController(GreedyConsolidator(ft4), mode="incremental")
 
+    def test_unchanged_ids_only_on_delta_epochs(self, ft4):
+        c = SdnController(GreedyConsolidator(ft4), scale_factor=SCALE, mode="delta")
+        saw_delta = False
+        for traffic in churned_epochs(ft4, 5):
+            stats = c.run_epoch(traffic).delta_stats
+            if stats.mode == MODE_DELTA:
+                saw_delta = True
+                assert len(stats.unchanged_ids) == stats.n_unchanged
+                assert stats.unchanged_ids  # stable churn ⇒ survivors
+            else:
+                # A full solve re-placed everything; nothing is proven.
+                assert stats.unchanged_ids == frozenset()
+        assert saw_delta
+
+    def test_unchanged_skip_preserves_epoch_plan(self, ft4):
+        """The fast diff (skip proven-unchanged flows) must produce the
+        same ReconfigurationPlan as a full path-by-path diff."""
+        from repro.control.rules import diff_routings
+
+        c = SdnController(GreedyConsolidator(ft4), scale_factor=SCALE, mode="delta")
+        for traffic in churned_epochs(ft4, 5):
+            prev = c.current_routing
+            outcome = c.run_epoch(traffic)
+            if not outcome.committed:
+                continue
+            reference = diff_routings(prev, outcome.result.routing)
+            assert outcome.plan.rules == reference
+
     def test_rollback_invalidates_warm_state(self, ft4):
         """Guardrail rollback restores a historical routing the delta
         engine never packed — the next epoch must full-solve."""

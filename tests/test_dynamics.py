@@ -80,6 +80,36 @@ class TestFlowChurnModel:
         churn = FlowChurnModel(ft4)
         with pytest.raises(ConfigurationError):
             churn.advance(1.0)
+        with pytest.raises(ConfigurationError):
+            FlowChurnModel(ft4, flows_per_host=0.0)
+        with pytest.raises(ConfigurationError):
+            FlowChurnModel(ft4, flows_per_host=-1.0)
+
+    def test_flows_per_host_default_is_identity(self, ft4):
+        """flows_per_host=1.0 must reproduce the historical sizing (and
+        therefore every golden hash) exactly."""
+        a = FlowChurnModel(ft4, seed_or_rng=6)
+        b = FlowChurnModel(ft4, flows_per_host=1.0, seed_or_rng=6)
+        assert a.n_flows == b.n_flows == len(list(ft4.hosts))
+        for _ in range(3):
+            ta = a.advance(0.3)
+            tb = b.advance(0.3)
+            assert [
+                (f.flow_id, f.src, f.dst, f.demand_bps) for f in ta
+            ] == [(f.flow_id, f.src, f.dst, f.demand_bps) for f in tb]
+
+    def test_flows_per_host_scales_population(self, ft4):
+        n_hosts = len(list(ft4.hosts))
+        dense = FlowChurnModel(ft4, flows_per_host=2.0, seed_or_rng=6)
+        assert dense.n_flows == 2 * n_hosts
+        sparse = FlowChurnModel(ft4, flows_per_host=0.25, seed_or_rng=6)
+        assert sparse.n_flows == max(1, round(0.25 * n_hosts))
+        for _ in range(3):
+            assert len(dense.advance(0.3)) == 2 * n_hosts
+
+    def test_explicit_n_flows_overrides_density(self, ft4):
+        churn = FlowChurnModel(ft4, n_flows=5, flows_per_host=3.0, seed_or_rng=6)
+        assert churn.n_flows == 5
 
 
 class TestMilpFallback:
