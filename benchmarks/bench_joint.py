@@ -14,7 +14,14 @@ in two executor configurations:
   are fused into one batch call that hoists the consolidation solve
   and traffic build out of the per-point loop.
 
-Both configurations must produce **bit-identical** experiment rows —
+A third configuration — **fabric + multipoint** — keeps the fused
+dispatch but runs each fused batch's whole constraint grid as one
+lockstep :func:`repro.simfast.run_multipoint_simulation` pass
+(``server_engine="multipoint"``), attacking the DES floor itself; its
+row reports ``des_speedup_vs_fabric`` (same overheads, only the DES
+changes) alongside the reference comparison.
+
+All configurations must produce **bit-identical** experiment rows —
 asserted here over a SHA-256 of every row of both figures; the fabric
 only ever skips recomputation of content-identical data.  Reference
 runs are timed *before* any fabric run so forked workers cannot
@@ -54,6 +61,7 @@ Emits ``BENCH_joint.json``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import hashlib
 import json
 import platform
@@ -282,6 +290,7 @@ def main(argv=None) -> None:
     # Phase 2: fabric runs (the drivers publish artifacts themselves;
     # we time an explicit prewarm and fold it into the fabric total).
     rows = []
+    fabric_totals: dict[tuple, float] = {}
     try:
         for name, grid, run_fn, spec in grid_rows:
             prewarm_s = measure_prewarm(name, spec)
@@ -312,6 +321,54 @@ def main(argv=None) -> None:
                 f"digest ok)"
             )
             rows.append(row)
+            fabric_totals[(name, grid)] = fabric_s
+
+        # Phase 2.5: fabric + lockstep multipoint DES.  Same fused
+        # dispatch, but each fused batch hands its whole constraint
+        # grid to one run_multipoint_simulation pass instead of a
+        # per-point tabulated loop — this is the DES-side reduction on
+        # top of the fabric's dispatch-side one, so it is compared
+        # against the fabric mode (both warm, identical overheads).
+        for name, grid, run_fn, spec in grid_rows:
+            mp_spec = dict(spec)
+            if "params" in mp_spec:
+                mp_spec["params"] = dataclasses.replace(
+                    mp_spec["params"], server_engine="multipoint"
+                )
+            else:
+                mp_spec["server_engine"] = "multipoint"
+            prewarm_s = measure_prewarm(name, spec)
+            result, run_s = run_mode(run_fn, mp_spec, FABRIC_CTX, args.jobs)
+            mp_s = prewarm_s + run_s
+            digest, n_rows, ref_s = reference[(name, grid)]
+            mp_digest = rows_digest(result)
+            if mp_digest != digest:
+                raise AssertionError(
+                    f"{name}/{grid}: multipoint rows diverged from the "
+                    f"reference mode ({mp_digest[:16]} != {digest[:16]}) — "
+                    "the lockstep engine must be bit-identical"
+                )
+            fabric_s = fabric_totals[(name, grid)]
+            row = {
+                "experiment": name,
+                "grid": grid,
+                "engine": "multipoint",
+                "n_rows": n_rows,
+                "reference_s": ref_s,
+                "fabric_s": fabric_s,
+                "multipoint_s": mp_s,
+                "prewarm_s": prewarm_s,
+                "speedup_vs_reference": ref_s / mp_s,
+                "des_speedup_vs_fabric": fabric_s / mp_s,
+                "rows_digest": digest,
+                "bit_identical": True,
+            }
+            print(
+                f"{name}/{grid}: multipoint{mp_s:7.2f}s  "
+                f"(vs fabric {row['des_speedup_vs_fabric']:.2f}x, "
+                f"vs reference {row['speedup_vs_reference']:.2f}x, digest ok)"
+            )
+            rows.append(row)
 
         # Phase 3 (strictly after every timed run — measuring the floor
         # inline warms the parent's in-process memo, and forked workers
@@ -330,6 +387,8 @@ def main(argv=None) -> None:
                 f"attach {warmup['attach_s'] * 1e3:.1f}ms"
             )
             for row in rows:
+                if "engine" in row:
+                    continue  # floor split applies to the fabric-mode row
                 if row["experiment"] == "fig13" and row["grid"] == "fine-grain":
                     row["des_floor_s"] = floor_s
                     row["overhead_reference_s"] = max(0.0, row["reference_s"] - floor_s)
@@ -356,7 +415,7 @@ def main(argv=None) -> None:
 
     if not args.quick:  # tiny smoke grids can't amortize the dedup
         for row in rows:
-            if row["speedup"] < 5.0:
+            if "speedup" in row and row["speedup"] < 5.0:
                 print(
                     f"NOTE: {row['experiment']}/{row['grid']} wall-clock "
                     f"speedup {row['speedup']:.1f}x < 5x — the sweep is "

@@ -6,10 +6,21 @@ the ``tabulated`` (:mod:`repro.simfast`) and ``reference`` governor
 engines, and emits a machine-readable ``BENCH_server.json`` with wall
 times, events/s, decisions/s and the tabulated/reference speedup.
 
+It also benchmarks the **lockstep multipoint engine** on a whole
+constraint grid: one :func:`~repro.simfast.run_multipoint_simulation`
+pass over ``--grid-points`` constraints versus the same grid as
+per-point ``engine="tabulated"`` runs, asserting bit-identical results
+per point.  The grid row records an honest Amdahl split:
+``des_floor_s`` is the slowest *single-point* scalar run — the one
+full event-stream pass the lockstep engine can never go below — so
+``amdahl_max_speedup = scalar_warm / des_floor_s`` bounds what any
+grid fusion could achieve at that window.
+
 Run as a module (the repository root on ``sys.path`` and ``src`` on
 ``PYTHONPATH``)::
 
     PYTHONPATH=src python -m benchmarks.bench_server --duration 60
+    PYTHONPATH=src python -m benchmarks.bench_server --quick --engine multipoint
 
 Each engine is timed cold (first run in the process — the tabulated
 engine pays VP-table construction, which subsequent same-process runs
@@ -27,6 +38,8 @@ import json
 import platform
 import time
 
+import numpy as np
+
 from repro.policies import (
     EpronsServerGovernor,
     RubikGovernor,
@@ -35,9 +48,16 @@ from repro.policies import (
 from repro.server.dvfs import XEON_LADDER
 from repro.server.service import default_service_model
 from repro.sim.runner import ServerSimConfig, run_server_simulation
-from repro.simfast import clear_shared_engines
+from repro.simfast import (
+    MultipointPoint,
+    clear_shared_engines,
+    run_multipoint_simulation,
+)
 
 ENGINES = ("reference", "tabulated")
+
+#: The multipoint grid sweeps the fig. 12(b) constraint band.
+GRID_CONSTRAINT_RANGE_MS = (18.0, 40.0)
 
 GOVERNORS = {
     "rubik": RubikGovernor,
@@ -127,13 +147,118 @@ def bench_point(name, utilization, constraint_s, engines, duration_s, n_cores, s
     return row
 
 
+def bench_grid(name, utilization, n_points, duration_s, n_cores, seed, repeats):
+    """The lockstep grid: one multipoint pass vs per-point scalar runs."""
+    service_model = default_service_model()
+    governor_cls = GOVERNORS[name]
+    lo_ms, hi_ms = GRID_CONSTRAINT_RANGE_MS
+    constraints = np.linspace(lo_ms * 1e-3, hi_ms * 1e-3, n_points)
+    configs = [
+        ServerSimConfig(
+            utilization=utilization,
+            latency_constraint_s=float(L),
+            n_cores=n_cores,
+            duration_s=duration_s,
+            warmup_s=min(duration_s / 3.0, 20.0),
+            seed=seed,
+        )
+        for L in constraints
+    ]
+
+    def factory():
+        return governor_cls(service_model, XEON_LADDER)
+
+    points = [
+        MultipointPoint(config=cfg, governor_factory=factory) for cfg in configs
+    ]
+
+    def scalar_pass():
+        timings = []
+        grid = []
+        for cfg in configs:
+            t0 = time.perf_counter()
+            grid.append(
+                run_server_simulation(service_model, factory, cfg, engine="tabulated")
+            )
+            timings.append(time.perf_counter() - t0)
+        return grid, timings
+
+    clear_shared_engines()
+    t0 = time.perf_counter()
+    scalar, per_point = scalar_pass()
+    scalar_cold = time.perf_counter() - t0
+    scalar_warm = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        again, per_point = scalar_pass()
+        scalar_warm = min(scalar_warm, time.perf_counter() - t0)
+        if again != scalar:
+            raise AssertionError(f"{name}/grid: scalar run-to-run mismatch")
+
+    stats: dict = {}
+    clear_shared_engines()
+    t0 = time.perf_counter()
+    fused = run_multipoint_simulation(service_model, points, stats_out=stats)
+    mp_cold = time.perf_counter() - t0
+    mp_warm = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fused_again = run_multipoint_simulation(service_model, points, stats_out=stats)
+        mp_warm = min(mp_warm, time.perf_counter() - t0)
+        if fused_again != fused:
+            raise AssertionError(f"{name}/grid: multipoint run-to-run mismatch")
+    for i, (one, many) in enumerate(zip(scalar, fused)):
+        if one != many:
+            raise AssertionError(
+                f"{name}/grid point {i}: multipoint diverged from tabulated"
+            )
+
+    # The lockstep pass must still simulate one full event stream; the
+    # slowest single point is its irreducible floor (Amdahl split).
+    des_floor_s = max(per_point)
+    return {
+        "kind": "multipoint-grid",
+        "governor": name,
+        "utilization": utilization,
+        "n_points": n_points,
+        "constraint_ms_range": [lo_ms, hi_ms],
+        "n_cores": n_cores,
+        "duration_s": duration_s,
+        "scalar": {"cold_s": scalar_cold, "warm_s": scalar_warm},
+        "multipoint": {
+            "cold_s": mp_cold,
+            "warm_s": mp_warm,
+            "n_events": stats["n_events"],
+            "n_decisions": stats["n_decisions"],
+            "n_forks": stats["n_forks"],
+            "n_merges": stats["n_merges"],
+            "n_fallback": stats["n_fallback"],
+        },
+        "speedup": {
+            "cold": scalar_cold / mp_cold,
+            "warm": scalar_warm / mp_warm,
+        },
+        "des_floor_s": des_floor_s,
+        "amdahl_max_speedup": scalar_warm / des_floor_s,
+    }
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--engines", nargs="+", default=list(ENGINES), choices=ENGINES)
+    parser.add_argument(
+        "--engine", choices=ENGINES + ("multipoint",), default=None,
+        help="benchmark one engine; 'multipoint' runs only the lockstep "
+        "grid benchmark (vs its per-point tabulated baseline)",
+    )
     parser.add_argument("--duration", type=float, default=60.0)
     parser.add_argument("--n-cores", type=int, default=2)
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--grid-points", type=int, default=32,
+        help="constraint-grid size for the multipoint benchmark",
+    )
     parser.add_argument(
         "--quick", action="store_true",
         help="single short point (CI smoke): eprons-server only",
@@ -143,24 +268,55 @@ def main(argv=None) -> None:
 
     points = DEFAULT_POINTS[1:2] if args.quick else DEFAULT_POINTS
     duration = min(args.duration, 12.0) if args.quick else args.duration
+    grid_points = min(args.grid_points, 8) if args.quick else args.grid_points
+    grid_repeats = 1 if args.quick else max(1, args.repeats - 1)
+    engines = [args.engine] if args.engine in ENGINES else args.engines
+    grid_only = args.engine == "multipoint"
 
     results = []
-    for name, utilization, constraint_s in points:
-        row = bench_point(
-            name, utilization, constraint_s, args.engines,
-            duration, args.n_cores, args.seed, args.repeats,
-        )
-        results.append(row)
-        print(f"{name} u={utilization:.0%} L={constraint_s * 1e3:.0f}ms:")
-        for engine, r in row["engines"].items():
-            print(
-                f"  {engine:10s} cold={r['cold_s']:.2f}s warm={r['warm_s']:.2f}s "
-                f"events/s={r['events_per_s_warm']:,.0f} "
-                f"decisions/s={r['decisions_per_s_warm']:,.0f}"
+    if not grid_only:
+        for name, utilization, constraint_s in points:
+            row = bench_point(
+                name, utilization, constraint_s, engines,
+                duration, args.n_cores, args.seed, args.repeats,
             )
-        if "speedups" in row:
-            s = row["speedups"]
-            print(f"  speedup    cold={s['cold']:.1f}x warm={s['warm']:.1f}x")
+            results.append(row)
+            print(f"{name} u={utilization:.0%} L={constraint_s * 1e3:.0f}ms:")
+            for engine, r in row["engines"].items():
+                print(
+                    f"  {engine:10s} cold={r['cold_s']:.2f}s warm={r['warm_s']:.2f}s "
+                    f"events/s={r['events_per_s_warm']:,.0f} "
+                    f"decisions/s={r['decisions_per_s_warm']:,.0f}"
+                )
+            if "speedups" in row:
+                s = row["speedups"]
+                print(f"  speedup    cold={s['cold']:.1f}x warm={s['warm']:.1f}x")
+
+    if grid_only or args.engine is None:
+        grid = bench_grid(
+            "eprons-server", 0.3, grid_points,
+            duration, args.n_cores, args.seed, grid_repeats,
+        )
+        results.append(grid)
+        print(
+            f"multipoint grid ({grid['n_points']} constraints, "
+            f"{duration:.0f}s windows):"
+        )
+        print(
+            f"  scalar     cold={grid['scalar']['cold_s']:.2f}s "
+            f"warm={grid['scalar']['warm_s']:.2f}s"
+        )
+        mp = grid["multipoint"]
+        print(
+            f"  multipoint cold={mp['cold_s']:.2f}s warm={mp['warm_s']:.2f}s "
+            f"(forks={mp['n_forks']}, merges={mp['n_merges']})"
+        )
+        print(
+            f"  speedup    cold={grid['speedup']['cold']:.2f}x "
+            f"warm={grid['speedup']['warm']:.2f}x "
+            f"(Amdahl ceiling {grid['amdahl_max_speedup']:.1f}x, "
+            f"des_floor={grid['des_floor_s']:.2f}s)"
+        )
 
     payload = {
         "benchmark": "bench_server",

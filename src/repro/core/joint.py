@@ -32,7 +32,12 @@ from ..power.models import LinkPowerModel, SwitchPowerModel
 from ..sim.runner import ServerSimConfig, ServerSimResult, run_server_simulation
 from ..workloads.search import SearchWorkload
 
-__all__ = ["JointSimParams", "JointEvaluation", "evaluate_operating_point"]
+__all__ = [
+    "JointSimParams",
+    "JointEvaluation",
+    "evaluate_operating_point",
+    "evaluate_operating_points",
+]
 
 
 @dataclass(frozen=True)
@@ -45,8 +50,11 @@ class JointSimParams:
 
     ``server_engine`` forces the governor decision engine of the
     embedded server simulation (``"tabulated"`` — the
-    :mod:`repro.simfast` fast path — or ``"reference"``); ``None``
-    keeps each governor's own default.
+    :mod:`repro.simfast` fast path — ``"reference"``, or
+    ``"multipoint"`` — the lockstep multi-point engine, bit-identical
+    to ``"tabulated"`` and batchable across grid points through
+    :func:`evaluate_operating_points`); ``None`` keeps each governor's
+    own default.
     """
 
     n_servers: int = 16
@@ -63,7 +71,7 @@ class JointSimParams:
             raise ConfigurationError("server/core counts must be positive")
         if not 0.0 <= self.warmup_s < self.duration_s:
             raise ConfigurationError("need 0 <= warmup < duration")
-        if self.server_engine not in (None, "tabulated", "reference"):
+        if self.server_engine not in (None, "tabulated", "reference", "multipoint"):
             raise ConfigurationError(
                 f"unknown server engine {self.server_engine!r}"
             )
@@ -136,6 +144,17 @@ def evaluate_operating_point(
         engine=params.server_engine,
     )
 
+    return _price(server, consolidation, params, switch_model, link_model)
+
+
+def _price(
+    server: ServerSimResult,
+    consolidation: ConsolidationResult,
+    params: JointSimParams,
+    switch_model: SwitchPowerModel,
+    link_model: LinkPowerModel,
+) -> JointEvaluation:
+    """Fleet-scale a server run into a priced operating point."""
     per_core = server.cpu_power_watts / params.sim_cores
     fleet_cpu = params.n_servers * params.n_cores_per_server * per_core
     switch_watts, link_watts = consolidation.subnet.network_power(switch_model, link_model)
@@ -156,3 +175,77 @@ def evaluate_operating_point(
         server_result=server,
         consolidation=consolidation,
     )
+
+
+def evaluate_operating_points(
+    workload: SearchWorkload,
+    traffic,
+    consolidation: ConsolidationResult,
+    points,
+    params: JointSimParams | None = None,
+    switch_model: SwitchPowerModel | None = None,
+    link_model: LinkPowerModel | None = None,
+    link_latency_model: LinkLatencyModel | None = None,
+) -> list:
+    """Price many operating points over one consolidated network.
+
+    ``points`` is a sequence of ``(constraint_s, utilization,
+    governor_factory, governor_name)`` tuples — the per-point axes of a
+    joint sweep that shares its consolidation (and hence its network
+    latency mixture).  All points run through one lockstep
+    :func:`~repro.simfast.multipoint.run_multipoint_simulation` pass
+    per utilization level, so the DES cost grows with the number of
+    *distinct event orderings*, not the number of points.  Each
+    returned :class:`JointEvaluation` is bit-identical to calling
+    :func:`evaluate_operating_point` on the same point with
+    ``server_engine="tabulated"`` (the multipoint equivalence
+    contract); results are in ``points`` order.
+    """
+    from ..simfast.multipoint import MultipointPoint, run_multipoint_simulation
+
+    params = params or JointSimParams()
+    switch_model = switch_model or SwitchPowerModel()
+    link_model = link_model or LinkPowerModel()
+
+    network = NetworkModel(
+        workload.topology,
+        traffic,
+        consolidation.routing,
+        link_model=link_latency_model,
+    )
+    monitor = LatencyMonitor(network)
+    sampler = monitor.pooled_sampler(seed_or_rng=params.seed)
+
+    # The lockstep engine requires a shared arrival trace, so points
+    # are grouped by utilization (constraints and governors fork and
+    # re-merge lazily inside the engine; offered load cannot).
+    results: list = [None] * len(points)
+    by_util: dict[float, list[int]] = {}
+    for i, (_, utilization, _, _) in enumerate(points):
+        by_util.setdefault(float(utilization), []).append(i)
+    for utilization, idxs in by_util.items():
+        mp_points = [
+            MultipointPoint(
+                config=ServerSimConfig(
+                    utilization=utilization,
+                    latency_constraint_s=points[i][0],
+                    network_budget_s=workload.network_budget_s,
+                    n_cores=params.sim_cores,
+                    duration_s=params.duration_s,
+                    warmup_s=params.warmup_s,
+                    static_watts=params.static_watts,
+                    seed=params.seed,
+                ),
+                governor_factory=points[i][2],
+                governor_name=points[i][3],
+            )
+            for i in idxs
+        ]
+        servers = run_multipoint_simulation(
+            workload.service_model,
+            mp_points,
+            network_latency_sampler=sampler,
+        )
+        for i, server in zip(idxs, servers):
+            results[i] = _price(server, consolidation, params, switch_model, link_model)
+    return results

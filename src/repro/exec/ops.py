@@ -393,8 +393,9 @@ def server_sim_op(
     itself cache-shared with every other figure at the same traffic.
 
     ``engine`` selects the governor decision engine (``"tabulated"`` /
-    ``"reference"``; ``None`` keeps the governor default, which is
-    tabulated for the VP family).  Tabulated governors fetch their VP
+    ``"reference"`` / ``"multipoint"`` — the lockstep engine, which for
+    a single point behaves exactly like tabulated; ``None`` keeps the
+    governor default, which is tabulated for the VP family).  Tabulated governors fetch their VP
     tables from the process-wide :func:`repro.simfast.shared_table_engine`
     registry, so every server-sim task a warm worker executes for the
     same (service model, ladder) pair reuses one set of tables instead
@@ -544,6 +545,51 @@ def joint_eval_batch_op(
 
     base = workload_for(arity)
     traffic = base.traffic(background, seed_or_rng=traffic_seed)
+
+    if params.server_engine == "multipoint" and len(todo) > 1:
+        # Lockstep fast path: all pending points of one utilization run
+        # through a single multi-point DES pass (bit-identical per point
+        # — the engine's equivalence contract).  A failing subgroup
+        # falls through to the scalar loop below, which deals with
+        # per-point errors exactly as before.
+        from ..core.joint import evaluate_operating_points
+
+        by_util: dict[float, list[int]] = {}
+        for i in todo:
+            by_util.setdefault(float(specs[i]["utilization"]), []).append(i)
+        remaining: list[int] = []
+        for utilization, idxs in by_util.items():
+            group_points = []
+            for i in idxs:
+                spec = specs[i]
+                wl = base.with_constraint(spec["constraint_ms"] * 1e-3)
+                group_points.append(
+                    (
+                        wl.latency_constraint_s,
+                        utilization,
+                        governor_factory(spec["governor"], wl),
+                        None,
+                    )
+                )
+            start = perf_counter()
+            try:
+                evals = evaluate_operating_points(
+                    base, traffic, consolidation, group_points, params=params
+                )
+            except Exception:  # noqa: BLE001 — scalar retry classifies
+                # the failure per point (infeasible vs error payload).
+                remaining.extend(idxs)
+                continue
+            amortized = (perf_counter() - start) / len(idxs)
+            for i, value in zip(idxs, evals):
+                cache.store("joint-eval", specs[i], STATUS_OK, value)
+                payloads[i] = {
+                    "status": STATUS_OK,
+                    "value": value,
+                    "duration_s": amortized,
+                }
+        todo = remaining
+
     for i in todo:
         spec = specs[i]
         start = perf_counter()

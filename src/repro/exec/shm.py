@@ -44,6 +44,7 @@ from __future__ import annotations
 import atexit
 import hashlib
 import os
+import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
@@ -150,12 +151,19 @@ def _untrack(shm) -> None:
         pass
 
 
+#: Every live store in this process — :func:`sweep_orphans` consults
+#: them to tell a tracked own-pid segment from one leaked by a previous
+#: incarnation of the same pid.
+_LIVE_STORES: "weakref.WeakSet[SharedArtifactStore]" = weakref.WeakSet()
+
+
 class SharedArtifactStore:
     """Process-local registry of published/attached shm artifacts."""
 
     def __init__(self):
         self._entries: dict[tuple[str, str], _Entry] = {}
         self._atexit_armed = False
+        _LIVE_STORES.add(self)
 
     # -- publishing (owner side) ------------------------------------------------
 
@@ -300,8 +308,12 @@ def shutdown_shared_store() -> None:
 def attach_manifests(manifests) -> int:
     """Worker-side: attach every manifest and hand each artifact to its
     subsystem restorer.  Returns the number of artifacts restored; an
-    artifact whose segment vanished (owner shut down mid-flight) is
-    skipped — the worker falls back to rebuilding from spec."""
+    artifact whose segment vanished (owner shut down mid-flight) or
+    whose restorer raised (initializer failure) is skipped — the worker
+    falls back to rebuilding from spec.  A failed restore releases the
+    reference its attach took, so a worker that keeps re-running its
+    initializer (pool respawn loops) never accumulates half-initialized
+    mappings."""
     import importlib
 
     store = shared_store()
@@ -314,7 +326,11 @@ def attach_manifests(manifests) -> int:
             arrays, meta = store.attach(manifest)
         except FileNotFoundError:
             continue
-        importlib.import_module(module_name)._shm_restore(arrays, meta)
+        try:
+            importlib.import_module(module_name)._shm_restore(arrays, meta)
+        except Exception:
+            store.release(manifest.kind, manifest.key)
+            continue
         restored += 1
     return restored
 
@@ -328,13 +344,21 @@ def sweep_orphans() -> list[str]:
 
     A run killed before its atexit handler leaves its segments behind;
     every segment name carries its creator's pid, so any later run can
-    tell an orphan from a live sibling's segment.  No-op on platforms
+    tell an orphan from a live sibling's segment.  Segments carrying
+    *this* pid are orphans too when no live store tracks them: the pid
+    was recycled from an incarnation that died hard (e.g. a pool
+    initializer failure escalating to a kill).  No-op on platforms
     without a POSIX shm filesystem.
     """
     try:
         names = os.listdir(_shm_dir())
     except OSError:
         return []
+    tracked = {
+        entry.manifest.segment
+        for store in list(_LIVE_STORES)
+        for entry in list(store._entries.values())
+    }
     removed = []
     for name in names:
         if not name.startswith(SEG_PREFIX + "-"):
@@ -344,7 +368,10 @@ def sweep_orphans() -> list[str]:
             pid = int(parts[2])
         except (IndexError, ValueError):
             continue
-        if pid == os.getpid() or _pid_alive(pid):
+        if pid == os.getpid():
+            if name in tracked:
+                continue
+        elif _pid_alive(pid):
             continue
         try:
             os.unlink(os.path.join(_shm_dir(), name))

@@ -64,7 +64,9 @@ def run_utilization_sweep(
     """Fig. 12(a): CPU power vs utilization per governor.
 
     ``engine`` forces the governor decision engine (``"tabulated"`` /
-    ``"reference"``) on every point; ``None`` keeps governor defaults.
+    ``"reference"`` / ``"multipoint"`` — the lockstep engine,
+    bit-identical to tabulated) on every point; ``None`` keeps
+    governor defaults.
     """
     result = ExperimentResult(
         figure="fig12a",

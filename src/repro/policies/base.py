@@ -133,7 +133,7 @@ class VPGovernor(Governor):
     meet the target — run flat out and let the tail absorb the burst.
     """
 
-    ENGINES = ("tabulated", "reference")
+    ENGINES = ("tabulated", "reference", "multipoint")
 
     #: ``"max"`` (limiting request) or ``"mean"`` (queue average).
     vp_mode: str = "max"
@@ -164,7 +164,11 @@ class VPGovernor(Governor):
                 f"unknown governor engine {engine!r}; expected one of {self.ENGINES}"
             )
         self.engine = engine
-        if engine == "tabulated":
+        if engine in ("tabulated", "multipoint"):
+            # "multipoint" is the tabulated decision machinery driven by
+            # the lockstep engine (repro.simfast.multipoint); a governor
+            # running standalone under it behaves exactly like
+            # "tabulated".
             self._tables = shared_table_engine(self.service_model, self.ladder)
             self.incremental = True
         else:
@@ -181,7 +185,7 @@ class VPGovernor(Governor):
         if snapshot.n_requests == 0:
             return self.ladder.f_min
         self.n_decisions += 1
-        if self.engine == "tabulated":
+        if self._tables is not None:
             if snapshot.in_service_deadline is not None:
                 offset = self._tables.head_offset(snapshot.in_service_completed_work or 0.0)
                 deltas = np.empty(1 + len(snapshot.queued_deadlines))

@@ -130,7 +130,10 @@ def run_server_simulation(
     supports one (``"tabulated"`` — the :mod:`repro.simfast` fast path
     — or ``"reference"``); ``None`` keeps each governor's own default.
     Governors without a ``set_engine`` method (max-frequency, oracle,
-    TimeTrader) ignore the override.
+    TimeTrader) ignore the override.  ``engine="multipoint"`` routes
+    the whole run through the lockstep engine of
+    :mod:`repro.simfast.multipoint` (bit-identical to ``"tabulated"``;
+    built for simulating many grid points in one pass).
 
     ``stats_out``, when given a dict, receives run instrumentation
     (``n_events`` processed by the event loop, ``n_decisions`` made by
@@ -142,6 +145,26 @@ def run_server_simulation(
     governors keep seeing only the request slack — the paper's
     conservative Section IV-C rule.
     """
+    if engine == "multipoint":
+        # One-point lockstep run — genuinely exercises the multipoint
+        # engine (same results, bit for bit, as "tabulated").
+        from ..simfast.multipoint import MultipointPoint, run_multipoint_simulation
+
+        return run_multipoint_simulation(
+            service_model,
+            [
+                MultipointPoint(
+                    config=config,
+                    governor_factory=governor_factory,
+                    governor_name=governor_name,
+                )
+            ],
+            network_latency_sampler=network_latency_sampler,
+            sleep_model=sleep_model,
+            reply_latency_sampler=reply_latency_sampler,
+            stats_out=stats_out,
+        )[0]
+
     rng = ensure_rng(config.seed)
     arrival_rng, latency_rng, work_rng, dispatch_rng = spawn(rng, 4)
     if network_latency_sampler is None:

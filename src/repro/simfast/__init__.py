@@ -19,10 +19,13 @@ default) and fall back to the pre-existing mixture evaluation with
 """
 
 from .equivalent import IncrementalEquivalentQueue
+from .multipoint import MultipointPoint, run_multipoint_simulation
 from .tables import VPTableEngine, clear_shared_engines, shared_table_engine
 
 __all__ = [
     "IncrementalEquivalentQueue",
+    "MultipointPoint",
+    "run_multipoint_simulation",
     "VPTableEngine",
     "shared_table_engine",
     "clear_shared_engines",

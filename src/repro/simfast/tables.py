@@ -32,6 +32,7 @@ changes decisions).
 from __future__ import annotations
 
 import hashlib
+from math import floor as _floor
 
 import numpy as np
 from scipy.signal import fftconvolve
@@ -104,6 +105,11 @@ class _HeadStack:
         for i, row in enumerate(self.rows):
             tables[i, : row.size] = row
         self.tables = tables
+        # Rebind rows to views into the padded table: keeping the owned
+        # build arrays alive would hold every row twice, so the engine's
+        # byte accounting (``nbytes`` counts only ``tables``) would see
+        # half the resident footprint and the LRU cap would overshoot.
+        self.rows = [tables[i, : row.size] for i, row in enumerate(self.rows)]
 
     def _build_row(self, k: int, powers: ConvolutionCache) -> np.ndarray:
         if self.head is None:
@@ -157,6 +163,14 @@ class VPTableEngine:
         self.frequencies = tuple(float(f) for f in ladder)
         self.speeds = np.array([fm.speed_factor(f) for f in self.frequencies])
         self.n_freqs = len(self.frequencies)
+        # Hot-path caches for decide_batch: the ladder as an ndarray
+        # and fold-row index vectors keyed by queue length.
+        self._freq_array = np.array(self.frequencies)
+        self._arange_cache: dict[int, np.ndarray] = {}
+        self._speed_list = [float(s) for s in self.speeds]
+        # decide_point's rung order: top rung first (fallback gate),
+        # then bottom-up to the first satisfying rung.
+        self._scan_order = (self.n_freqs - 1, *range(self.n_freqs - 1))
         # Insertion-ordered LRU of head stacks, keyed by conditioning
         # offset (None = no in-service request).
         self._stacks: dict[int | None, _HeadStack] = {}
@@ -249,6 +263,151 @@ class VPTableEngine:
         if not satisfied[-1]:
             return None
         return self.frequencies[int(np.argmax(satisfied))]
+
+    def decide_point(
+        self,
+        deltas: list,
+        offset: int | None,
+        mode: str,
+        target_vp: float,
+    ) -> float:
+        """Scalar :meth:`decide` for one short queue, pure Python.
+
+        ``deltas`` is a list of Python floats (same layout as
+        :meth:`decide`); returns the chosen frequency with the
+        ``None -> f_max`` fallback applied.  Restricted to queues
+        shorter than 8 requests: below numpy's pairwise-sum block the
+        vectorized reductions accumulate strictly left to right, which
+        is the order this loop uses — so each float matches
+        :meth:`decide` bit for bit.  The selection logic is decide()'s,
+        literally: the top rung gates the ``None -> f_max`` fallback,
+        then the upward scan stops at the first satisfying rung
+        (``argmax`` of the satisfied mask) without evaluating the rungs
+        above it.
+        """
+        n = len(deltas)
+        if n == 0:
+            raise ConfigurationError("decide_point() needs at least one request")
+        if n >= 8:
+            chosen = self.decide(np.array(deltas), offset, mode, target_vp)
+            return chosen if chosen is not None else self.frequencies[-1]
+        if offset is None:
+            k_max = n
+            row0 = 1
+        else:
+            k_max = n - 1
+            row0 = 0
+        stack = self.stack(offset, k_max)
+        item = stack.tables.item
+        hi = stack.width - 2
+        dx = self.dx
+        freqs = self.frequencies
+        speeds = self._speed_list
+        is_mean = mode != "max"
+        # A strictly negative head delta reads VP 1.0 at every rung
+        # (the reference CCDF's early return); fold it into the
+        # accumulator seed and scan the remaining elements.  Seeding
+        # max with 0.0 is exact too: every table value is in [0, 1].
+        if offset is not None and deltas[0] < 0.0:
+            seed, i0 = 1.0, 1
+        else:
+            seed, i0 = 0.0, 0
+        tail = deltas[i0:]
+        # Literal decide() evaluation order: the top rung gates the
+        # None -> f_max fallback, then the upward scan returns the
+        # first satisfying rung.
+        gate = True
+        for fi in self._scan_order:
+            s = speeds[fi]
+            acc = seed
+            ri = row0 + i0
+            if is_mean:
+                for d in tail:
+                    m = _floor(d / s / dx + 1e-9)
+                    if m > hi:
+                        m = hi
+                    elif m < -1:
+                        m = -1
+                    acc += item(ri, m + 1)
+                    ri += 1
+                acc /= n
+            else:
+                for d in tail:
+                    m = _floor(d / s / dx + 1e-9)
+                    if m > hi:
+                        m = hi
+                    elif m < -1:
+                        m = -1
+                    v = item(ri, m + 1)
+                    if v > acc:
+                        acc = v
+                    ri += 1
+            if gate:
+                gate = False
+                if acc > target_vp:
+                    return freqs[-1]
+            elif acc <= target_vp:
+                return freqs[fi]
+        return freqs[-1]
+
+    def decide_batch(
+        self,
+        deltas: np.ndarray,
+        offset: int | None,
+        mode: str,
+        target_vp: float,
+    ) -> np.ndarray:
+        """Vectorized :meth:`decide` over a lockstep point group.
+
+        ``deltas`` is ``(P, n)``: one row of ``deadline - now`` values
+        per grid point, all sharing queue composition (and head offset
+        when ``offset`` is not ``None``).  Returns the chosen frequency
+        per point with the ``None -> f_max`` fallback already applied —
+        the shape the multipoint engine partitions groups on.  Every
+        per-element float op matches :meth:`decide` (the reductions run
+        over the same-length axis in the same sequential order), so row
+        ``p`` equals ``decide(deltas[p], ...)`` bit for bit.
+        """
+        n_points, n = deltas.shape
+        if n == 0:
+            raise ConfigurationError("decide_batch() needs at least one request")
+        arange = self._arange_cache.get(n)
+        if arange is None:
+            arange = self._arange_cache[n] = np.arange(n + 1)
+        if offset is None:
+            k_max = n
+            rows = arange[1:]
+        else:
+            k_max = n - 1
+            rows = arange[:n]
+        stack = self.stack(offset, k_max)
+        # Same per-element float ops as :meth:`decide`, fused in place:
+        # budget = (delta / speed) / dx + 1e-9, floored and clipped.
+        budgets = deltas[:, :, None] / self.speeds[None, None, :]
+        budgets /= self.dx
+        budgets += 1e-9
+        np.floor(budgets, out=budgets)
+        m = budgets.astype(np.int64)
+        np.minimum(m, stack.width - 2, out=m)
+        np.maximum(m, -1, out=m)
+        m += 1
+        vp = stack.tables[rows[None, :, None], m]
+        if offset is not None:
+            negative = deltas[:, 0] < 0.0
+            if negative.any():
+                vp[negative, 0, :] = 1.0
+        # ndarray.max/.mean delegate to these reductions (mean divides
+        # the pairwise sum by the count), so the bits match decide().
+        if mode == "max":
+            metric = np.maximum.reduce(vp, axis=1)
+        else:
+            metric = np.add.reduce(vp, axis=1)
+            metric /= n
+        satisfied = metric <= target_vp
+        freqs = self._freq_array
+        chosen = freqs[np.argmax(satisfied, axis=1)]
+        chosen[~satisfied[:, -1]] = freqs[-1]
+        return chosen
 
 
 # -- process-level sharing ------------------------------------------------------

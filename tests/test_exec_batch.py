@@ -46,6 +46,31 @@ register_batchable(
 )
 
 
+@task_fn("test/kaboom")
+def _kaboom(*, base, x, marker_dir):
+    _mark(marker_dir, "scalar")
+    return base * 10 + x
+
+
+@task_fn("test/kaboom-batch", cache=False)
+def _kaboom_batch(*, base, points, marker_dir):
+    import os
+
+    _mark(marker_dir, "batch")
+    flag = Path(marker_dir) / "died.flag"
+    if not flag.exists():
+        # First fused attempt: die mid-batch with no cleanup, the way a
+        # kill -9 would — nothing may reach cache or journal.
+        flag.write_text("x")
+        os._exit(1)
+    return [{"status": "ok", "value": base * 10 + dict(p)["x"]} for p in points]
+
+
+register_batchable(
+    "test/kaboom", "test/kaboom-batch", shared=("base", "marker_dir"), point=("x",)
+)
+
+
 def _mark(marker_dir, kind):
     with open(Path(marker_dir) / f"{kind}.log", "a") as fh:
         fh.write("run\n")
@@ -157,6 +182,53 @@ class TestBatchTask:
         assert other.to_sweep_task().digest != wire.digest  # order differs
         same = BatchTask.fuse("test/poly-batch", spec.shared, tasks, (0, 1, 2))
         assert same.to_sweep_task().digest == wire.digest
+
+
+class TestResumeAfterMidBatchKill:
+    def test_journal_keeps_member_digests_only_and_resumes(self, tmp_path):
+        """A worker killed mid-fused-batch must leave the journal with
+        each member recorded exactly once under its *scalar* digest
+        (from the descoped retries) and never under the fused wire
+        digest — so ``--resume`` serves every member and re-runs none."""
+        import json
+
+        journal_path = tmp_path / "journal.jsonl"
+        tasks = [
+            SweepTask.make("test/kaboom", base=7, x=x, marker_dir=str(tmp_path))
+            for x in (1, 2, 3)
+        ]
+        ctx = _ctx(tmp_path, jobs=2)
+        outs = run_sweep(
+            tasks,
+            ctx=ctx,
+            journal_path=str(journal_path),
+            policy=RetryPolicy(max_retries=1),
+        )
+        assert [o.unwrap() for o in outs] == [71, 72, 73]
+        assert _calls(tmp_path, "batch") == 1  # the killed attempt
+        assert _calls(tmp_path, "scalar") == 3  # descoped retries
+
+        records = [
+            json.loads(line) for line in journal_path.read_text().splitlines()
+        ]
+        digests = [r["digest"] for r in records if r.get("kind") == "outcome"]
+        # Exactly one record per member, keyed by the scalar digest...
+        assert sorted(digests) == sorted(t.digest for t in tasks)
+        # ...and the fused wire digest never reaches the journal.
+        spec = batchable_for("test/kaboom")
+        fused = BatchTask.fuse(
+            "test/kaboom-batch", spec.shared, tasks, (0, 1, 2)
+        )
+        assert fused.to_sweep_task().digest not in digests
+
+        # Resume: every member is served from the journal verbatim.
+        outs2 = run_sweep(
+            tasks, ctx=ctx, journal_path=str(journal_path), resume=True
+        )
+        assert [o.unwrap() for o in outs2] == [71, 72, 73]
+        assert all(o.cached for o in outs2)
+        assert _calls(tmp_path, "batch") == 1
+        assert _calls(tmp_path, "scalar") == 3
 
 
 class TestJointEvalParity:

@@ -165,6 +165,29 @@ class TestSweeper:
         finally:
             os.unlink(path)
 
+    def test_own_pid_untracked_segment_is_reaped(self, store):
+        """Pid-reuse orphan: a segment named with *our* pid that no
+        live store tracks was left by a dead incarnation of this pid
+        (e.g. a run whose pool initializer failure escalated to a hard
+        kill) — the sweeper must reap it while sparing tracked ones."""
+        from multiprocessing import resource_tracker, shared_memory
+
+        name = f"{SEG_PREFIX}-{os.getpid()}-feedfacefeedface"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=64)
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        shm.close()
+        assert _segment_exists(name)
+
+        live = store.publish("trace", "k11", _arrays())
+        removed = sweep_orphans()
+        assert name in removed
+        assert not _segment_exists(name)
+        # The tracked own-pid segment is never touched.
+        assert _segment_exists(live.segment)
+
 
 class TestWorkerCrashSafety:
     def test_attacher_death_cannot_unlink_owner_segment(self, store, tmp_path):
@@ -195,6 +218,43 @@ class TestWorkerCrashSafety:
         views, _ = fresh.attach(manifest)
         assert np.array_equal(views["ints"], _arrays()["ints"])
         fresh.release("trace", "k10")
+
+    def test_restorer_failure_releases_attached_reference(
+        self, store, monkeypatch
+    ):
+        """Chaos: a pool initializer whose restorer raises must drop the
+        reference its attach took — a respawning pool would otherwise
+        pile up half-initialized mappings — and keep restoring the
+        remaining artifacts."""
+        from repro.exec import shm as shm_mod
+        from repro.workloads import traceio
+
+        bad = store.publish("trace", "k12-bad", _arrays(), {"poison": True})
+        good = store.publish("trace", "k12-good", _arrays(), {"poison": False})
+
+        calls = []
+
+        def exploding_restore(arrays, meta):
+            calls.append(meta)
+            if meta and meta.get("poison"):
+                raise RuntimeError("initializer blew up")
+
+        monkeypatch.setattr(traceio, "_shm_restore", exploding_restore)
+        worker = shm_mod.shared_store()
+        before_bad = worker.refcount("trace", "k12-bad")
+        before_good = worker.refcount("trace", "k12-good")
+        try:
+            assert attach_manifests([bad, good]) == 1
+            assert len(calls) == 2
+            # The failed artifact's reference was released...
+            assert worker.refcount("trace", "k12-bad") == before_bad
+            # ...while the successful one is held as usual.
+            assert worker.refcount("trace", "k12-good") == before_good + 1
+            # The owner's segments are untouched either way.
+            assert _segment_exists(bad.segment)
+            assert _segment_exists(good.segment)
+        finally:
+            worker.release("trace", "k12-good")
 
 
 # -- subsystem restorers -------------------------------------------------------

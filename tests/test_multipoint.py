@@ -1,0 +1,320 @@
+"""Lockstep multi-point engine: bit-identical to per-point scalar runs.
+
+``repro.simfast.multipoint`` simulates a whole constraint grid in one
+event loop; its hard contract is that every per-point result equals
+``run_server_simulation(..., engine="tabulated")`` with ``==`` on
+floats — no tolerance.  These tests pin that contract on fixed grids,
+randomized grids, the fig. 12 golden digests, the scalar-fallback
+paths, the shared-field validation, and the joint plural API.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consolidation import route_on_subnet
+from repro.core import JointSimParams, evaluate_operating_point
+from repro.core.joint import evaluate_operating_points
+from repro.errors import ConfigurationError
+from repro.policies import (
+    EpronsNoReorderGovernor,
+    EpronsServerGovernor,
+    MaxFrequencyGovernor,
+    RubikGovernor,
+    RubikPlusGovernor,
+    TimeTraderGovernor,
+)
+from repro.power.sleep import POWERNAP_SLEEP
+from repro.server import XEON_LADDER
+from repro.sim.runner import (
+    ServerSimConfig,
+    constant_latency_sampler,
+    run_server_simulation,
+)
+from repro.simfast import MultipointPoint, run_multipoint_simulation
+from repro.topology import aggregation_policy
+from repro.workloads import SearchWorkload
+
+from tests.test_simfast_equivalence import FIG12_POINT_DIGESTS, result_digest
+
+VP_GOVERNORS = (
+    RubikGovernor,
+    RubikPlusGovernor,
+    EpronsNoReorderGovernor,
+    EpronsServerGovernor,
+)
+
+
+def _config(constraint_s: float = 30e-3, **overrides) -> ServerSimConfig:
+    base = dict(
+        utilization=0.35,
+        latency_constraint_s=constraint_s,
+        n_cores=2,
+        duration_s=6.0,
+        warmup_s=1.0,
+        seed=11,
+    )
+    base.update(overrides)
+    return ServerSimConfig(**base)
+
+
+def _factory(governor_cls, service_model, ladder):
+    if governor_cls is MaxFrequencyGovernor:
+        return lambda: MaxFrequencyGovernor(ladder)
+    return lambda: governor_cls(service_model, ladder)
+
+
+def _scalar(service_model, factory, config, **kwargs):
+    return run_server_simulation(
+        service_model, factory, config, engine="tabulated", **kwargs
+    )
+
+
+# -- single-point parity through the runner switch ---------------------------------
+
+
+@pytest.mark.parametrize(
+    "governor_cls", VP_GOVERNORS + (MaxFrequencyGovernor,), ids=lambda c: c.name
+)
+def test_runner_engine_switch_matches_tabulated(governor_cls, service_model, ladder):
+    config = _config()
+    factory = _factory(governor_cls, service_model, ladder)
+    multipoint = run_server_simulation(
+        service_model, factory, config, engine="multipoint"
+    )
+    assert multipoint == _scalar(service_model, factory, config)
+
+
+# -- grid vs per-point scalar ------------------------------------------------------
+
+
+def test_constraint_grid_matches_scalar(service_model, ladder):
+    constraints = np.linspace(19e-3, 40e-3, 8)
+    factory = _factory(EpronsServerGovernor, service_model, ladder)
+    points = [
+        MultipointPoint(config=_config(float(L)), governor_factory=factory)
+        for L in constraints
+    ]
+    stats: dict = {}
+    grid = run_multipoint_simulation(service_model, points, stats_out=stats)
+    assert stats["n_points"] == 8
+    assert stats["n_fallback"] == 0
+    assert stats["n_decisions"] > 0
+    for L, result in zip(constraints, grid):
+        assert result == _scalar(service_model, factory, _config(float(L)))
+
+
+def test_mixed_governor_grid_matches_scalar(service_model, ladder):
+    """Heterogeneous policies fork into distinct groups but every point
+    still lands bit-identical, in input order."""
+    cells = [
+        (cls, L)
+        for cls in (RubikGovernor, EpronsServerGovernor, MaxFrequencyGovernor)
+        for L in (22e-3, 30e-3, 38e-3)
+    ]
+    points = [
+        MultipointPoint(
+            config=_config(L),
+            governor_factory=_factory(cls, service_model, ladder),
+        )
+        for cls, L in cells
+    ]
+    stats: dict = {}
+    grid = run_multipoint_simulation(service_model, points, stats_out=stats)
+    assert stats["n_fallback"] == 0
+    for (cls, L), result in zip(cells, grid):
+        factory = _factory(cls, service_model, ladder)
+        assert result == _scalar(service_model, factory, _config(L))
+
+
+def test_reply_latency_grid_matches_scalar(service_model, ladder):
+    """The reply-latency deadline wiring must survive the lockstep
+    deadline precomputation."""
+    factory = _factory(EpronsServerGovernor, service_model, ladder)
+    sampler = constant_latency_sampler(1e-3)
+    points = [
+        MultipointPoint(config=_config(L), governor_factory=factory)
+        for L in (24e-3, 32e-3)
+    ]
+    grid = run_multipoint_simulation(
+        service_model, points, reply_latency_sampler=sampler
+    )
+    for point, result in zip(points, grid):
+        assert result == _scalar(
+            service_model, factory, point.config, reply_latency_sampler=sampler
+        )
+
+
+def test_empty_points_returns_empty(service_model):
+    assert run_multipoint_simulation(service_model, []) == []
+
+
+# -- fig. 12 golden digests through the multipoint path ----------------------------
+
+
+@pytest.mark.parametrize(
+    "governor_cls", [RubikGovernor, EpronsServerGovernor], ids=lambda c: c.name
+)
+def test_fig12_point_golden_hash_multipoint(governor_cls, service_model, ladder):
+    config = ServerSimConfig(
+        utilization=0.3,
+        latency_constraint_s=30e-3,
+        n_cores=2,
+        duration_s=12.0,
+        warmup_s=4.0,
+        seed=3,
+    )
+    result = run_server_simulation(
+        service_model,
+        _factory(governor_cls, service_model, ladder),
+        config,
+        engine="multipoint",
+    )
+    assert result_digest(result) == FIG12_POINT_DIGESTS[governor_cls.name]
+
+
+# -- randomized grids --------------------------------------------------------------
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_random_grids_match_scalar(data, service_model, ladder):
+    n = data.draw(st.integers(2, 5), label="n_points")
+    classes = data.draw(
+        st.lists(st.sampled_from(VP_GOVERNORS), min_size=n, max_size=n),
+        label="governors",
+    )
+    constraints = data.draw(
+        st.lists(
+            st.floats(0.018, 0.045, allow_nan=False), min_size=n, max_size=n
+        ),
+        label="constraints",
+    )
+    seed = data.draw(st.integers(0, 4), label="seed")
+    utilization = data.draw(st.sampled_from((0.2, 0.35, 0.5)), label="utilization")
+    configs = [
+        _config(L, utilization=utilization, duration_s=3.0, warmup_s=0.5, seed=seed)
+        for L in constraints
+    ]
+    points = [
+        MultipointPoint(
+            config=cfg, governor_factory=_factory(cls, service_model, ladder)
+        )
+        for cls, cfg in zip(classes, configs)
+    ]
+    grid = run_multipoint_simulation(service_model, points)
+    for cls, cfg, result in zip(classes, configs, grid):
+        factory = _factory(cls, service_model, ladder)
+        assert result == _scalar(service_model, factory, cfg)
+
+
+# -- scalar fallback ---------------------------------------------------------------
+
+
+def test_feedback_governor_falls_back_to_scalar(service_model, ladder):
+    """TimeTrader needs its window timer — the lockstep engine routes it
+    through the scalar simulator, mixed freely with lockstep points."""
+    config = _config()
+    tt = lambda: TimeTraderGovernor(ladder, config.latency_constraint_s)  # noqa: E731
+    epr = _factory(EpronsServerGovernor, service_model, ladder)
+    stats: dict = {}
+    grid = run_multipoint_simulation(
+        service_model,
+        [
+            MultipointPoint(config=config, governor_factory=tt),
+            MultipointPoint(config=config, governor_factory=epr),
+        ],
+        stats_out=stats,
+    )
+    assert stats["n_fallback"] == 1
+    assert grid[0] == run_server_simulation(service_model, tt, config)
+    assert grid[1] == _scalar(service_model, epr, config)
+
+
+def test_sleep_model_falls_back_to_scalar(service_model, ladder):
+    config = _config(utilization=0.25)
+    factory = _factory(EpronsServerGovernor, service_model, ladder)
+    stats: dict = {}
+    grid = run_multipoint_simulation(
+        service_model,
+        [MultipointPoint(config=config, governor_factory=factory)],
+        sleep_model=POWERNAP_SLEEP,
+        stats_out=stats,
+    )
+    assert stats["n_fallback"] == 1
+    assert grid[0] == _scalar(
+        service_model, factory, config, sleep_model=POWERNAP_SLEEP
+    )
+
+
+def test_jsq_dispatch_falls_back_to_scalar(service_model, ladder):
+    config = _config(dispatch="jsq")
+    factory = _factory(EpronsServerGovernor, service_model, ladder)
+    stats: dict = {}
+    grid = run_multipoint_simulation(
+        service_model,
+        [MultipointPoint(config=config, governor_factory=factory)],
+        stats_out=stats,
+    )
+    assert stats["n_fallback"] == 1
+    assert grid[0] == _scalar(service_model, factory, config)
+
+
+# -- shared-field validation -------------------------------------------------------
+
+
+@pytest.mark.parametrize("field,value", [("utilization", 0.5), ("seed", 99)])
+def test_points_must_agree_on_shared_fields(service_model, ladder, field, value):
+    factory = _factory(EpronsServerGovernor, service_model, ladder)
+    base = _config()
+    other = dataclasses.replace(base, **{field: value})
+    points = [
+        MultipointPoint(config=base, governor_factory=factory),
+        MultipointPoint(config=other, governor_factory=factory),
+    ]
+    with pytest.raises(ConfigurationError, match=field):
+        run_multipoint_simulation(service_model, points)
+
+
+# -- joint plural API --------------------------------------------------------------
+
+
+def test_evaluate_operating_points_matches_scalar(ft4):
+    workload = SearchWorkload(ft4)
+    traffic = workload.traffic(0.1, seed_or_rng=1)
+    consolidation = route_on_subnet(
+        aggregation_policy(workload.topology, 2), traffic
+    )
+    params = JointSimParams(sim_cores=1, duration_s=5.0, warmup_s=1.0)
+    constraints = (22e-3, 30e-3, 38e-3)
+
+    points = []
+    for L in constraints:
+        wl = workload.with_constraint(L)
+        points.append(
+            (
+                L,
+                0.3,
+                lambda wl=wl: EpronsServerGovernor(wl.service_model, XEON_LADDER),
+                None,
+            )
+        )
+    plural = evaluate_operating_points(
+        workload, traffic, consolidation, points, params=params
+    )
+
+    for L, point, ev in zip(constraints, points, plural):
+        wl = workload.with_constraint(L)
+        scalar = evaluate_operating_point(
+            wl, traffic, consolidation, 0.3, point[2], params=params
+        )
+        assert ev.total_watts == scalar.total_watts
+        assert ev.query_p95_s == scalar.query_p95_s
+        assert ev.violation_rate == scalar.violation_rate
+        assert ev.sla_met == scalar.sla_met
+        assert ev.server_result == scalar.server_result

@@ -75,11 +75,18 @@ def test_rows_monotone_bounded_and_terminated(engine):
 
 def test_stack_grows_lazily_and_reuses_rows(engine):
     stack = engine.stack(2, 2)
-    rows_before = [id(r) for r in stack.rows]
+    rows_before = [r.copy() for r in stack.rows]
     grown = engine.stack(2, 5)
     assert grown is stack
-    assert [id(r) for r in grown.rows[:3]] == rows_before
     assert grown.n_rows == 6
+    # Growth must not change existing rows' values...
+    for before, after in zip(rows_before, grown.rows):
+        np.testing.assert_array_equal(after, before)
+    # ...and rows must be views into the padded table — one resident
+    # copy, so the LRU byte accounting (nbytes of ``tables`` only)
+    # matches the true footprint.
+    for row in grown.rows:
+        assert np.shares_memory(row, grown.tables)
 
 
 # -- decisions ---------------------------------------------------------------------
@@ -130,6 +137,32 @@ def test_byte_cap_evicts_lru_and_rebuilds_identically(service_model):
     rebuilt = small.stack(1, 4)
     for k in range(5):
         np.testing.assert_array_equal(rebuilt.rows[k], keep_rows[k])
+
+
+def test_long_churn_keeps_byte_accounting_exact(service_model):
+    """Long-churn invariant: after any interleaving of stack growth and
+    byte-capped eviction, the engine's byte counter equals the true
+    resident footprint — ``sum(stack.nbytes)`` over live stacks.  A
+    drifting counter either stops evicting (unbounded memory) or evicts
+    everything (cache thrash); this pins the single-copy accounting
+    fixed with the row-rebind change."""
+    probe = VPTableEngine(service_model, XEON_LADDER)
+    row_bytes = probe.stack(0, 4).rows[-1].nbytes
+    engine = VPTableEngine(
+        service_model, XEON_LADDER, max_table_bytes=8 * row_bytes
+    )
+    rng = np.random.default_rng(17)
+    for step in range(200):
+        offset = int(rng.integers(0, 12))
+        k_max = int(rng.integers(1, 7))
+        stack = engine.stack(offset, k_max)
+        # Every row is a view of the padded table (one resident copy).
+        for row in stack.rows:
+            assert np.shares_memory(row, stack.tables)
+        live = sum(s.nbytes for s in engine._stacks.values())
+        assert engine.table_bytes() == live, step
+        # The cap binds up to the one active stack that may overflow it.
+        assert engine.table_bytes() <= engine.max_table_bytes + stack.nbytes
 
 
 def test_eviction_never_drops_the_active_stack(service_model):
