@@ -19,15 +19,25 @@ engine at ``drift_bound=0`` must produce results bit-identical (SHA-256
 over routing/subnet/objective) to the full engine on the same epoch
 sequence.
 
+With ``--engine sharded`` each arity additionally times the *cold*
+full solve (fresh consolidator, path sets not yet compiled — the
+worst-case control-plane tail the delta engine falls back to) against
+the pod-sharded engine at each ``--shards`` count, asserting the
+``shards=1`` digest is bit-identical to the indexed solve; ``--k48``
+appends a cold-solve-only row on a k=48 fabric with 10^5 background
+flows.
+
 Run as a module (repository root on ``sys.path``, ``src`` on
 ``PYTHONPATH``)::
 
     PYTHONPATH=src python -m benchmarks.bench_control --k 8 16
-    PYTHONPATH=src python -m benchmarks.bench_control --quick   # CI smoke
+    PYTHONPATH=src python -m benchmarks.bench_control --quick --engine sharded  # CI smoke
+    PYTHONPATH=src python -m benchmarks.bench_control --engine sharded --k48
 
-Emits ``BENCH_control.json``.  Target: at k=16+ under 10 % churn the
+Emits ``BENCH_control.json``.  Targets: at k=16+ under 10 % churn the
 delta engine's steady-state epoch decision is >= 5x faster than the
-full solve (and stays sub-second at k=32).
+full solve (and stays sub-second at k=32); the sharded engine is
+>= 3x faster than the indexed cold solve at k=32 with >= 4 jobs.
 """
 
 from __future__ import annotations
@@ -38,9 +48,18 @@ import json
 import platform
 import time
 
-from repro.consolidation import DeltaConsolidator, GreedyConsolidator
+import numpy as np
+
+from repro.consolidation import (
+    DeltaConsolidator,
+    GreedyConsolidator,
+    shutdown_shard_pool,
+)
 from repro.control.rules import diff_routings
+from repro.netfast import clear_index_registry
 from repro.flows.dynamics import FlowChurnModel
+from repro.flows.flow import Flow, FlowClass
+from repro.flows.traffic import TrafficSet
 from repro.topology.fattree import FatTree
 from repro.workloads.search import SearchWorkload
 
@@ -165,7 +184,130 @@ def bench_point(ft, epochs, churn_rate: float) -> dict:
     }
 
 
-def bench_arity(k: int, churn_rates, n_epochs: int) -> dict:
+def _cold_copy(ft):
+    """A content-identical topology with every process-wide warm state
+    dropped: the identity-keyed index map never sees the new object and
+    the content registry is cleared, so the next solve pays the full
+    one-time path-set compilation — the cold tail this block measures.
+    (The delta sweeps earlier in the same bench process leave the
+    original ``ft``'s compiled index warm; timing against it would
+    understate the cold solve by an order of magnitude.)"""
+    clear_index_registry()
+    return FatTree(ft.k)
+
+
+def bench_sharded(ft, traffic, shards_list, jobs_override=None) -> dict:
+    """Cold/full-solve scaling of the sharded engine vs the indexed one.
+
+    ``cold_full_s`` is a fresh indexed consolidator's first solve on a
+    cold process (path caches and the process-wide compiled-index
+    registry cold — the control-plane tail this engine exists to kill);
+    ``warm_full_s`` is the same consolidator's repeat solve, the
+    steady-state full-epoch figure.  Per shard count the block reports
+    the first sharded solve on an equally cold slate (``sharded_cold_s``:
+    worker pool, worker path caches and parent index all cold) and the
+    steady-state repeat (``sharded_s``: live pool, warm caches — the
+    per-epoch figure a long-running controller sees).  ``shards=1``
+    carries the bit-identity contract and is asserted against the
+    indexed digest here, on every bench run.
+    """
+    indexed = GreedyConsolidator(_cold_copy(ft))
+    t0 = time.perf_counter()
+    reference = indexed.consolidate(traffic, SCALE_FACTOR)
+    cold_full_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    indexed.consolidate(traffic, SCALE_FACTOR)
+    warm_full_s = time.perf_counter() - t0
+    ref_digest = result_digest(reference)
+    print(f"    indexed: cold={cold_full_s:7.2f}s warm={warm_full_s:7.2f}s")
+
+    # the engine clamps shards to the core-group count; dropping the
+    # excess here keeps the rows honestly labeled
+    shards_list = [s for s in shards_list if s <= ft.n_core_groups] or [1]
+    points = []
+    for n_shards in shards_list:
+        jobs = jobs_override if jobs_override is not None else max(1, n_shards)
+        shutdown_shard_pool()
+        cons = GreedyConsolidator(
+            _cold_copy(ft), engine="sharded", shards=n_shards, shard_jobs=jobs
+        )
+        t0 = time.perf_counter()
+        cold = cons.consolidate(traffic, SCALE_FACTOR)
+        sharded_cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = cons.consolidate(traffic, SCALE_FACTOR)
+        sharded_s = time.perf_counter() - t0
+        if result_digest(warm) != result_digest(cold):
+            raise AssertionError(
+                f"sharded engine is not deterministic across repeats "
+                f"(shards={n_shards}, jobs={jobs})"
+            )
+        if n_shards == 1 and result_digest(cold) != ref_digest:
+            raise AssertionError(
+                "shards=1 sharded result diverged from the indexed engine "
+                "(bit-identity contract)"
+            )
+        stats = cons.last_sharded_stats
+        drift = (
+            cold.objective_watts - reference.objective_watts
+        ) / max(reference.objective_watts, 1e-12)
+        points.append(
+            {
+                "shards": n_shards,
+                "jobs": jobs,
+                "sharded_cold_s": sharded_cold_s,
+                "sharded_s": sharded_s,
+                "speedup_cold": cold_full_s / sharded_cold_s,
+                "speedup": cold_full_s / sharded_s,
+                "speedup_warm": warm_full_s / sharded_s,
+                "objective_drift": drift,
+                "digest_matches_indexed": n_shards == 1,
+                "n_interpod": stats.n_interpod,
+                "n_intrapod": stats.n_intrapod,
+                "n_spilled": stats.n_spilled,
+                "n_rescued": stats.n_rescued,
+            }
+        )
+        print(
+            f"    sharded s={n_shards} j={jobs}: cold={sharded_cold_s:7.2f}s "
+            f"warm={sharded_s:7.2f}s speedup={cold_full_s / sharded_s:4.1f}x "
+            f"(cold {cold_full_s / sharded_cold_s:4.1f}x) drift={drift:+.3f}"
+        )
+    shutdown_shard_pool()
+    return {
+        "n_flows": len(traffic),
+        "cold_full_s": cold_full_s,
+        "warm_full_s": warm_full_s,
+        "drift_bound": 0.5,
+        "points": points,
+    }
+
+
+def scale_traffic_k48(
+    k: int = 48, n_pairs: int = 400, n_flows: int = 100_000,
+    demand_bps: float = 1e5, seed: int = 7,
+):
+    """Bounded-pair background traffic at k=48 — the same construction
+    as ``tests/test_scale_k48.py`` (many flows per pair, as with
+    aggregated service traffic; an unconstrained 10^5-pair instance
+    would be path-cache-intractable for *any* engine)."""
+    ft = FatTree(k)
+    hosts = sorted(ft.hosts)
+    rng = np.random.default_rng(seed)
+    drawn = rng.choice(len(hosts), size=(n_pairs, 2))
+    pairs = [(hosts[s], hosts[d]) for s, d in drawn if hosts[s] != hosts[d]]
+    flows = [
+        Flow(
+            f"bg-{i}", *pairs[i % len(pairs)], demand_bps=demand_bps,
+            flow_class=FlowClass.LATENCY_TOLERANT,
+        )
+        for i in range(n_flows)
+    ]
+    return ft, TrafficSet(flows)
+
+
+def bench_arity(k: int, churn_rates, n_epochs: int, engine: str = "indexed",
+                shards_list=(1, 2, 4, 8), jobs=None) -> dict:
     row: dict = {"k": k, "n_hosts": FatTree(k).n_hosts, "points": []}
     for rate in churn_rates:
         ft, epochs = epoch_traffic(k, rate, n_epochs)
@@ -178,6 +320,10 @@ def bench_arity(k: int, churn_rates, n_epochs: int) -> dict:
             f"(churned~{point['mean_churned_flows']:.0f}/{point['n_flows']} flows, "
             f"{point['delta_epoch_fraction']:.0%} delta epochs)"
         )
+    if engine == "sharded":
+        ft, epochs = epoch_traffic(k, churn_rates[0], 1)
+        print(f"  k={k} sharded cold-solve scaling:")
+        row["sharded"] = bench_sharded(ft, epochs[0], shards_list, jobs)
     return row
 
 
@@ -189,16 +335,53 @@ def main(argv=None) -> None:
     parser.add_argument(
         "--quick", action="store_true", help="CI smoke: k=8 only, 8 epochs"
     )
+    parser.add_argument(
+        "--engine", choices=("indexed", "sharded"), default="indexed",
+        help="'sharded' adds the per-arity cold-solve scaling block "
+        "(cold_full_s vs sharded_s per shard count, shards=1 digest assert)",
+    )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="shard counts for the sharded scaling block",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker-pool size for the sharded block (default: one per shard)",
+    )
+    parser.add_argument(
+        "--k48", action="store_true",
+        help="append a k=48 cold-only sharded row (bounded-pair traffic, "
+        "10^5 flows; slow)",
+    )
     parser.add_argument("--out", default="BENCH_control.json")
     args = parser.parse_args(argv)
     if args.quick:
         args.k = [8]
         args.epochs = 8
+        args.shards = [s for s in args.shards if s <= 4]
 
     results = []
     for k in args.k:
         print(f"k={k}:")
-        results.append(bench_arity(k, args.churn, args.epochs))
+        results.append(
+            bench_arity(
+                k, args.churn, args.epochs,
+                engine=args.engine, shards_list=args.shards, jobs=args.jobs,
+            )
+        )
+
+    if args.k48:
+        print("k=48 (cold-only, bounded-pair):")
+        ft48, traffic48 = scale_traffic_k48()
+        results.append(
+            {
+                "k": 48,
+                "n_hosts": ft48.n_hosts,
+                "cold_only": True,
+                "points": [],
+                "sharded": bench_sharded(ft48, traffic48, args.shards, args.jobs),
+            }
+        )
 
     payload = {
         "benchmark": "bench_control",

@@ -165,9 +165,13 @@ class DeltaConsolidator(Consolidator):
     Parameters
     ----------
     topology_or_inner:
-        Either a :class:`~repro.topology.graph.Topology` (an indexed
-        :class:`GreedyConsolidator` is built internally) or an existing
-        indexed-engine greedy consolidator to wrap.  The wrapped
+        Either a :class:`~repro.topology.graph.Topology` (a
+        :class:`GreedyConsolidator` with the requested ``engine`` is
+        built internally) or an existing indexed- or sharded-engine
+        greedy consolidator to wrap — with ``engine="sharded"`` every
+        rung of the fallback ladder dispatches its full solve to the
+        pod-sharded parallel engine, which is what bounds the
+        control plane's worst-case epoch at scale.  The wrapped
         consolidator becomes *owned*: calling its ``consolidate``
         directly between delta epochs corrupts the warm state.
     drift_bound:
@@ -194,6 +198,9 @@ class DeltaConsolidator(Consolidator):
         safety_margin_bps: float = 50e6,
         switch_model=None,
         link_model=None,
+        engine: str = "indexed",
+        shards: int = 4,
+        shard_jobs: int | None = None,
     ):
         if isinstance(topology_or_inner, GreedyConsolidator):
             inner = topology_or_inner
@@ -203,18 +210,20 @@ class DeltaConsolidator(Consolidator):
                 safety_margin_bps=safety_margin_bps,
                 switch_model=switch_model,
                 link_model=link_model,
-                engine="indexed",
+                engine=engine,
+                shards=shards,
+                shard_jobs=shard_jobs,
             )
         else:
             raise ConfigurationError(
                 "DeltaConsolidator wraps a Topology or a GreedyConsolidator, "
                 f"got {type(topology_or_inner).__name__}"
             )
-        if inner.engine != "indexed":
+        if inner.engine not in ("indexed", "sharded"):
             raise ConfigurationError(
-                "delta consolidation requires the indexed greedy engine "
-                f"(got engine={inner.engine!r}); the reference engine has no "
-                "incremental packing state"
+                "delta consolidation requires the indexed or sharded greedy "
+                f"engine (got engine={inner.engine!r}); the reference engine "
+                "has no incremental packing state"
             )
         super().__init__(
             inner.topology,

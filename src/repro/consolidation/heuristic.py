@@ -72,10 +72,17 @@ def _stranded(flow, scale_factor: float) -> _StrandedFlow:
     )
 
 
+#: Default bound on the per-consolidator pair/path caches.  Sized to
+#: hold every pair of the k=32 benchmark workload (~25k) with headroom;
+#: beyond it the caches evict least-recently-used entries instead of
+#: growing without bound across long sweeps.
+PAIR_CACHE_MAX = 65536
+
+
 class GreedyConsolidator(Consolidator):
     """First-fit-decreasing, leftmost-path greedy consolidator."""
 
-    ENGINES = ("indexed", "reference")
+    ENGINES = ("indexed", "reference", "sharded")
 
     def __init__(
         self,
@@ -85,20 +92,43 @@ class GreedyConsolidator(Consolidator):
         link_model=None,
         allowed_subnet: ActiveSubnet | None = None,
         engine: str = "indexed",
+        shards: int = 4,
+        shard_jobs: int | None = None,
+        shard_min_multiplicity: int = 4,
+        pair_cache_max: int = PAIR_CACHE_MAX,
     ):
         super().__init__(topology, safety_margin_bps, switch_model, link_model)
         if allowed_subnet is not None and allowed_subnet.topology is not topology:
             raise InfeasibleError("allowed_subnet belongs to a different topology")
         if engine not in self.ENGINES:
             raise ConfigurationError(f"unknown engine {engine!r}; known: {self.ENGINES}")
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if shard_jobs is not None and shard_jobs < 1:
+            raise ConfigurationError(f"shard_jobs must be >= 1, got {shard_jobs}")
+        if pair_cache_max < 1:
+            raise ConfigurationError(f"pair_cache_max must be >= 1, got {pair_cache_max}")
         self.allowed_subnet = allowed_subnet
         self.engine = engine
+        #: Sharded engine: shard count (clamped to the tree's core-group
+        #: count), worker count (None: one per shard) and the pair-class
+        #: multiplicity at which the batch kernel opens a session.
+        self.shards = shards
+        self.shard_jobs = shard_jobs
+        self.shard_min_multiplicity = shard_min_multiplicity
+        #: Per-solve telemetry of the last sharded packing attempt.
+        self.last_sharded_stats = None
         # Path enumeration is pure topology; cache across consolidate() calls
-        # (the controller re-runs every 10 simulated minutes).
+        # (the controller re-runs every 10 simulated minutes).  Bounded
+        # LRU — long multi-workload sweeps must not grow it forever.
+        self.pair_cache_max = pair_cache_max
         self._path_cache: dict[tuple[str, str], list[tuple[str, ...]]] = {}
         # Indexed engine: (PathSet, allowed-mask) per pair, plus the
         # reusable array state — built lazily on first consolidate().
         self._pair_cache: dict[tuple[str, str], tuple] = {}
+        # Reference engine: hoisted per-consolidator invariants (lazy).
+        self._ref_baseline: tuple[frozenset, frozenset] | None = None
+        self._allowed_path_cache: dict[tuple[str, str], tuple] = {}
         self._state: PackingState | None = None
         # Optional per-flow placement log hook (set by the delta
         # engine): when not None, each indexed packing attempt clears
@@ -107,12 +137,44 @@ class GreedyConsolidator(Consolidator):
         # seed a warm-startable state.
         self._placement_log: dict[str, tuple] | None = None
 
+    def _lru_touch(self, cache: dict, key):
+        """Move ``key`` to the cache's most-recent end (dict order)."""
+        cache[key] = cache.pop(key)
+
+    def _lru_insert(self, cache: dict, key, value):
+        while len(cache) >= self.pair_cache_max:
+            del cache[next(iter(cache))]
+        cache[key] = value
+
     def _paths(self, src: str, dst: str) -> list[tuple[str, ...]]:
         key = (src, dst)
         cached = self._path_cache.get(key)
         if cached is None:
             cached = shortest_paths(self.topology, src, dst)
-            self._path_cache[key] = cached
+            self._lru_insert(self._path_cache, key, cached)
+        else:
+            self._lru_touch(self._path_cache, key)
+        return cached
+
+    def _allowed_paths(self, src: str, dst: str) -> tuple:
+        """``(index, path)`` pairs surviving the fixed allowed subnet.
+
+        Pure topology + fixed subnet, so cached per pair (bounded LRU)
+        — the reference engine used to re-filter every path on every
+        restart attempt.  Original path indices are preserved, keeping
+        the leftmost tie-break identical.
+        """
+        key = (src, dst)
+        cached = self._allowed_path_cache.get(key)
+        if cached is None:
+            cached = tuple(
+                (idx, path)
+                for idx, path in enumerate(self._paths(src, dst))
+                if self._path_allowed(path)
+            )
+            self._lru_insert(self._allowed_path_cache, key, cached)
+        else:
+            self._lru_touch(self._allowed_path_cache, key)
         return cached
 
     def _path_allowed(self, path: tuple[str, ...]) -> bool:
@@ -231,6 +293,10 @@ class GreedyConsolidator(Consolidator):
     ) -> ConsolidationResult:
         if self.engine == "indexed":
             return self._pack_once_indexed(traffic, scale_factor, attempt, priority, excluded)
+        if self.engine == "sharded":
+            from .sharded import pack_sharded
+
+            return pack_sharded(self, traffic, scale_factor, attempt, priority, excluded)
         return self._pack_once_reference(traffic, scale_factor, attempt, priority, excluded)
 
     # -- indexed engine ---------------------------------------------------------
@@ -242,7 +308,9 @@ class GreedyConsolidator(Consolidator):
         if entry is None:
             ps = topology_index(self.topology).path_set(src, dst)
             entry = (ps, self._state.allowed_mask(ps))
-            self._pair_cache[key] = entry
+            self._lru_insert(self._pair_cache, key, entry)
+        else:
+            self._lru_touch(self._pair_cache, key)
         return entry
 
     def _exclusion_masker(self, excluded: tuple[frozenset, frozenset]):
@@ -363,16 +431,22 @@ class GreedyConsolidator(Consolidator):
         # fixed allowed subnet the power bill is already sunk, so every
         # allowed device counts as active and routing degenerates to
         # pure load balancing — exactly what an operator wants from the
-        # switches deliberately left on.
-        active_switches: set[str] = set()
-        active_links: set[tuple[str, str]] = set()
-        if self.allowed_subnet is not None:
-            active_switches.update(self.allowed_subnet.switches_on)
-            active_links.update(self.allowed_subnet.links_on)
-        for host in topo.hosts:
-            sw = topo.attachment_switch(host)
-            active_switches.add(sw)
-            active_links.add(canonical_link(host, sw))
+        # switches deliberately left on.  The baseline is pure topology
+        # + fixed subnet, hoisted across restart attempts (and across
+        # consolidate() calls).
+        if self._ref_baseline is None:
+            base_switches: set[str] = set()
+            base_links: set[tuple[str, str]] = set()
+            if self.allowed_subnet is not None:
+                base_switches.update(self.allowed_subnet.switches_on)
+                base_links.update(self.allowed_subnet.links_on)
+            for host in topo.hosts:
+                sw = topo.attachment_switch(host)
+                base_switches.add(sw)
+                base_links.add(canonical_link(host, sw))
+            self._ref_baseline = (frozenset(base_switches), frozenset(base_links))
+        active_switches = set(self._ref_baseline[0])
+        active_links = set(self._ref_baseline[1])
 
         sw_delta, ln_delta = self._activation_deltas()
 
@@ -386,8 +460,8 @@ class GreedyConsolidator(Consolidator):
             Final key: leftmost path index, for determinism.
             """
             best = None  # (activation_watts, -bottleneck_residual, path_index, path)
-            for idx, path in enumerate(self._paths(flow.src, flow.dst)):
-                if not self._path_allowed(path) or not path_survives(path):
+            for idx, path in self._allowed_paths(flow.src, flow.dst):
+                if not path_survives(path):
                     continue
                 bottleneck = min(
                     residual_of(u, v) - link_reservation(flow, k, topo, u, v)

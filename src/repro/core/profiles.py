@@ -19,7 +19,7 @@ import numpy as np
 from ..consolidation.base import ConsolidationResult
 from ..errors import ConfigurationError
 from ..workloads.search import SearchWorkload
-from .joint import JointSimParams, evaluate_operating_point
+from .joint import JointSimParams, evaluate_operating_point, evaluate_operating_points
 
 __all__ = ["PowerProfile", "ProfileTable", "DEFAULT_UTIL_GRID"]
 
@@ -66,14 +66,38 @@ class PowerProfile:
         util_grid=DEFAULT_UTIL_GRID,
         params: JointSimParams | None = None,
     ) -> "PowerProfile":
-        """Run the DES at each grid utilization and tabulate."""
+        """Run the DES at each grid utilization and tabulate.
+
+        The grid is evaluated through one
+        :func:`~repro.core.joint.evaluate_operating_points` call — the
+        network model, latency monitor and pooled sampler are built
+        once per profile and every grid point runs on the lockstep
+        multi-point server engine (bit-identical to the scalar
+        tabulated path, which ``params.server_engine == "reference"``
+        still selects for the golden-equality tests).
+        """
         params = params or JointSimParams()
         powers, tails = [], []
         governor = "governor"
-        for u in util_grid:
-            ev = evaluate_operating_point(
-                workload, traffic, consolidation, u, governor_factory, params=params
+        if params.server_engine == "reference":
+            evals = [
+                evaluate_operating_point(
+                    workload, traffic, consolidation, u, governor_factory, params=params
+                )
+                for u in util_grid
+            ]
+        else:
+            evals = evaluate_operating_points(
+                workload,
+                traffic,
+                consolidation,
+                [
+                    (workload.latency_constraint_s, u, governor_factory, None)
+                    for u in util_grid
+                ],
+                params=params,
             )
+        for ev in evals:
             powers.append(ev.server_result.cpu_power_watts / params.sim_cores)
             tails.append(ev.query_p95_s)
             governor = ev.governor

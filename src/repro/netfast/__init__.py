@@ -26,6 +26,7 @@ leftmost tie-breaking), which ``tests/test_netfast_equivalence.py``
 enforces.
 """
 
+from .batchpack import BatchPacker
 from .index import PathSet, TopologyIndex, clear_index_registry, topology_index
 from .packing import PackingState
 from .routing import RoutingMatrix
@@ -37,4 +38,5 @@ __all__ = [
     "clear_index_registry",
     "RoutingMatrix",
     "PackingState",
+    "BatchPacker",
 ]

@@ -1,0 +1,192 @@
+"""Batched first-fit path scoring for the sharded consolidation engine.
+
+:meth:`PackingState.evaluate` prices one flow's candidate paths from
+scratch: gather the residuals of every hop, subtract the reservations,
+reduce to a bottleneck, count inactive devices.  When traffic contains
+many flows of the same *pair class* — same (src, dst) endpoints and the
+same per-hop reservations, the normal shape of aggregated service
+traffic — almost all of that work is identical from one flow to the
+next: a placement only changes the residuals of the ≤ ``n_hops``
+directed links it touched, and only changes activation costs when it
+turned a device on.
+
+:class:`BatchPacker` exploits that with per-pair-class *sessions*.  A
+session caches the bottleneck vector (min residual slack per candidate
+path) and the activation-cost vector, and every placement repairs the
+cached bottlenecks of exactly the sessions whose path matrices contain
+a touched link (located through an inverted link → (session, positions)
+index built once per session).  Correctness rests on two exact-float
+facts:
+
+* residuals only *decrease* during a packing attempt (no removals), so
+  ``min(old_bottleneck, new_value_of_changed_hops)`` is bitwise equal
+  to recomputing ``(residual[dlinks] - reservations).min(axis=1)`` —
+  each changed entry is recomputed with the same subtraction, never
+  accumulated incrementally;
+* activation costs only change when a placement activates a device, so
+  a global version counter (bumped only on genuine activations) makes
+  cached cost vectors exact.
+
+The selection rule (min activation watts → max bottleneck → leftmost
+row) is evaluated from those cached vectors with the same expressions
+as :meth:`PackingState.evaluate`, so a :class:`BatchPacker`-driven pack
+is bit-identical to the per-flow loop — ``tests/``'s sharded
+equivalence suite and the ``shards=1`` digest assert in
+``benchmarks/bench_control.py`` pin that contract.
+
+Sessions are only opened for pair classes with multiplicity ≥
+``min_multiplicity`` (a flow count the caller knows up front), so
+traffic with mostly-unique pairs pays one dict probe per flow and falls
+through to the plain ``evaluate``.  The session table is a bounded LRU;
+evicted sessions unregister from the inverted index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BatchPacker"]
+
+
+class _Session:
+    """Cached pricing state for one (pair, reservation-signature) class."""
+
+    __slots__ = ("ps", "reservations", "bottleneck", "cost", "cost_version", "dlink_ids")
+
+    def __init__(self, ps, reservations):
+        self.ps = ps
+        self.reservations = reservations
+        self.bottleneck: np.ndarray | None = None
+        self.cost: np.ndarray | None = None
+        self.cost_version = -1
+        #: Unique directed-link ids of the path matrix (for unregistering).
+        self.dlink_ids: np.ndarray | None = None
+
+
+class BatchPacker:
+    """Exact batched pricing over a :class:`~repro.netfast.packing.PackingState`.
+
+    One packer serves one packing *attempt*: it assumes residuals only
+    decrease (true for full-solve packing, which never removes flows)
+    and that **every** placement goes through :meth:`place` so cached
+    bottlenecks stay repaired.
+    """
+
+    def __init__(
+        self,
+        state,
+        sw_delta: float,
+        ln_delta: float,
+        min_multiplicity: int = 4,
+        max_sessions: int = 512,
+    ):
+        self.state = state
+        self.sw_delta = sw_delta
+        self.ln_delta = ln_delta
+        self.min_multiplicity = max(2, min_multiplicity)
+        self.max_sessions = max_sessions
+        #: key -> _Session, insertion-ordered (LRU via re-insertion).
+        self._sessions: dict = {}
+        #: dlink id -> {key: (rows, cols)} positions of that link in
+        #: each live session's path matrix.
+        self._by_dlink: dict[int, dict] = {}
+        self._version = 0
+
+    # -- session management ------------------------------------------------------
+
+    def _open_session(self, key, ps, reservations) -> _Session:
+        while len(self._sessions) >= self.max_sessions:
+            old_key = next(iter(self._sessions))
+            old = self._sessions.pop(old_key)
+            for d in old.dlink_ids:
+                entry = self._by_dlink.get(int(d))
+                if entry is not None:
+                    entry.pop(old_key, None)
+                    if not entry:
+                        del self._by_dlink[int(d)]
+        sess = _Session(ps, reservations)
+        sess.bottleneck = (self.state.residual[ps.dlinks] - reservations).min(axis=1)
+        flat = ps.dlinks.ravel()
+        order = np.argsort(flat, kind="stable")
+        svals = flat[order]
+        starts = np.flatnonzero(np.r_[True, svals[1:] != svals[:-1]])
+        bounds = np.r_[starts, flat.size]
+        n_hops = ps.dlinks.shape[1]
+        for i, s0 in enumerate(starts):
+            pos = order[s0 : bounds[i + 1]]
+            self._by_dlink.setdefault(int(svals[s0]), {})[key] = (
+                pos // n_hops,
+                pos % n_hops,
+            )
+        sess.dlink_ids = svals[starts]
+        self._sessions[key] = sess
+        return sess
+
+    def _refresh_cost(self, sess: _Session) -> None:
+        ps, state = sess.ps, self.state
+        if ps.switch_nodes.shape[1]:
+            new_switches = np.count_nonzero(~state.switch_active[ps.switch_nodes], axis=1)
+        else:
+            new_switches = np.zeros(ps.n_paths, dtype=np.intp)
+        new_links = np.count_nonzero(~state.ulink_active[ps.ulinks], axis=1)
+        sess.cost = new_switches * self.sw_delta + new_links * self.ln_delta
+        sess.cost_version = self._version
+
+    # -- pricing / placement -----------------------------------------------------
+
+    def evaluate(self, key, ps, reservations, allowed, multiplicity: int = 1):
+        """Pick the best path for one flow (same contract as
+        :meth:`PackingState.evaluate`); sessions kick in when the pair
+        class repeats at least ``min_multiplicity`` times."""
+        if multiplicity < self.min_multiplicity or ps.n_paths <= 1:
+            return self.state.evaluate(
+                ps, reservations, self.sw_delta, self.ln_delta, allowed
+            )
+        sess = self._sessions.get(key)
+        if sess is None:
+            sess = self._open_session(key, ps, reservations)
+        else:
+            # LRU touch.
+            self._sessions[key] = self._sessions.pop(key)
+        bottleneck = sess.bottleneck
+        feasible = bottleneck >= 0.0
+        if allowed is not None:
+            feasible = feasible & allowed
+        cand = np.flatnonzero(feasible)
+        if cand.size == 0:
+            return None
+        if sess.cost_version != self._version:
+            self._refresh_cost(sess)
+        cand_cost = sess.cost[cand]
+        cand = cand[cand_cost == cand_cost.min()]
+        if cand.size > 1:
+            cand_bn = bottleneck[cand]
+            cand = cand[cand_bn == cand_bn.max()]
+        best = int(cand[0])
+        slack_row = self.state.residual[ps.dlinks[best]] - reservations[best]
+        return best, slack_row
+
+    def place(self, ps, row: int, slack_row: np.ndarray) -> None:
+        """Commit a placement and repair every session's bottlenecks."""
+        state = self.state
+        activates = not state.ulink_active[ps.ulinks[row]].all()
+        if not activates and ps.switch_nodes.shape[1]:
+            activates = not state.switch_active[ps.switch_nodes[row]].all()
+        if activates:
+            self._version += 1
+        state.place(ps, row, slack_row)
+        residual = state.residual
+        sessions = self._sessions
+        for d in ps.dlinks[row]:
+            entry = self._by_dlink.get(int(d))
+            if not entry:
+                continue
+            new_val = residual[d]
+            for key, (rows, cols) in entry.items():
+                sess = sessions[key]
+                bn = sess.bottleneck
+                # Exact: each changed hop's slack is recomputed with the
+                # same subtraction evaluate() would use, and residuals
+                # are monotone non-increasing, so min(old, new) == full
+                # recompute, bit for bit.
+                bn[rows] = np.minimum(bn[rows], new_val - sess.reservations[rows, cols])

@@ -1,0 +1,263 @@
+"""Equivalence, validity and drift contracts of the sharded engine.
+
+The sharded full-solve engine carries two contracts (DESIGN.md,
+"Sharded consolidation"):
+
+* ``shards=1`` is **bit-identical** to ``engine="indexed"`` — same FFD
+  order, same activation-cost / bottleneck / leftmost tie-breaking,
+  same floating-point operation order — at any worker count;
+* multi-shard solves are **valid** (every flow routed end-to-end over
+  on devices within capacity, no residual underflow) and
+  **deterministic across worker counts**, with objective drift vs the
+  reference solve bounded by :data:`SHARDED_DRIFT_BOUND`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consolidation import (
+    SHARDED_DRIFT_BOUND,
+    DeltaConsolidator,
+    GreedyConsolidator,
+    validate_result,
+)
+from repro.control.controller import SdnController
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.flows import Flow, FlowClass, TrafficSet
+from repro.topology import FatTree
+from repro.units import MBPS
+
+FT = FatTree(4)
+FT8 = FatTree(8)
+HOSTS = list(FT.hosts)
+_PAIRS = [(s, d) for s in range(len(HOSTS)) for d in range(len(HOSTS)) if s != d]
+
+
+def digest(result):
+    """Everything a consolidation decision commits, comparably."""
+    return (
+        sorted(result.routing.items()),
+        sorted(result.subnet.switches_on),
+        sorted(result.subnet.links_on),
+        result.scale_factor,
+        result.objective_watts,
+    )
+
+
+@st.composite
+def traffic_instances(draw):
+    """Random mixed traffic, sized to stay comfortably routable."""
+    pair_indices = draw(
+        st.lists(st.integers(0, len(_PAIRS) - 1), min_size=1, max_size=14, unique=True)
+    )
+    n_lt = draw(st.integers(0, min(4, len(pair_indices) - 1)))
+    flows = []
+    for i, pi in enumerate(pair_indices):
+        src, dst = _PAIRS[pi]
+        if i >= len(pair_indices) - n_lt:
+            demand = draw(st.floats(50.0, 300.0)) * MBPS
+            flows.append(
+                Flow(f"e{i}", HOSTS[src], HOSTS[dst], demand, FlowClass.LATENCY_TOLERANT)
+            )
+        else:
+            demand = draw(st.floats(1.0, 30.0)) * MBPS
+            flows.append(
+                Flow(
+                    f"q{i}",
+                    HOSTS[src],
+                    HOSTS[dst],
+                    demand,
+                    FlowClass.LATENCY_SENSITIVE,
+                    5e-3,
+                )
+            )
+    return TrafficSet(flows)
+
+
+def bench_style_epochs(ft, n_epochs, query_demand_bps=4e6, seed=1):
+    """Fan-in query + churned background at 20 % utilization — the same
+    construction (and density) the control benchmark solves, which is
+    the regime the :data:`SHARDED_DRIFT_BOUND` contract is stated for."""
+    from repro.flows.dynamics import FlowChurnModel
+    from repro.workloads.search import SearchWorkload
+
+    query = SearchWorkload(ft, query_demand_bps=query_demand_bps).query_flows()
+    churn = FlowChurnModel(
+        ft, mean_lifetime_epochs=10.0, demand_jitter=0.0, seed_or_rng=seed
+    )
+    return [churn.advance(0.2).merged_with(query) for _ in range(n_epochs)]
+
+
+class TestShardsOneBitIdentical:
+    """``shards=1`` is the indexed engine, bit for bit."""
+
+    @given(traffic_instances(), st.sampled_from([1.0, 2.0, 3.0]))
+    @settings(max_examples=25, deadline=None)
+    def test_property_digest_equal(self, traffic, k):
+        ref = GreedyConsolidator(FT)
+        sha = GreedyConsolidator(FT, engine="sharded", shards=1)
+        try:
+            expected = ref.consolidate(traffic, k)
+        except InfeasibleError:
+            with pytest.raises(InfeasibleError):
+                sha.consolidate(traffic, k, best_effort_scale=False)
+            return
+        got = sha.consolidate(traffic, k)
+        assert digest(got) == digest(expected)
+
+    def test_bench_style_digest_equal(self):
+        traffic = bench_style_epochs(FT8, 1)[0]
+        expected = GreedyConsolidator(FT8).consolidate(traffic, 2.0)
+        got = GreedyConsolidator(FT8, engine="sharded", shards=1).consolidate(
+            traffic, 2.0
+        )
+        assert digest(got) == digest(expected)
+
+
+class TestMultiShardValidity:
+    """Multi-shard solves: valid, deterministic, drift-bounded."""
+
+    @pytest.fixture(scope="class")
+    def solved(self):
+        traffic = bench_style_epochs(FT8, 1)[0]
+        reference = GreedyConsolidator(FT8).consolidate(traffic, 2.0)
+        cons = GreedyConsolidator(FT8, engine="sharded", shards=4, shard_jobs=1)
+        result = cons.consolidate(traffic, 2.0)
+        return traffic, reference, cons, result
+
+    def test_valid_and_all_placed(self, solved):
+        traffic, _, cons, result = solved
+        validate_result(FT8, traffic, result)
+        assert len(result.routing) == len(traffic)
+        assert cons.last_sharded_stats.n_flows == len(traffic)
+
+    def test_no_residual_underflow(self, solved):
+        _, _, cons, _ = solved
+        assert float(cons._state.residual.min()) >= 0.0
+
+    def test_jobs_independent(self, solved):
+        traffic, _, _, result = solved
+        par = GreedyConsolidator(FT8, engine="sharded", shards=4, shard_jobs=2)
+        assert digest(par.consolidate(traffic, 2.0)) == digest(result)
+
+    def test_objective_drift_bounded(self, solved):
+        _, reference, _, result = solved
+        drift = (
+            result.objective_watts - reference.objective_watts
+        ) / reference.objective_watts
+        assert drift <= SHARDED_DRIFT_BOUND
+
+    @given(traffic_instances())
+    @settings(max_examples=15, deadline=None)
+    def test_property_valid(self, traffic):
+        cons = GreedyConsolidator(FT, engine="sharded", shards=2, shard_jobs=1)
+        try:
+            result = cons.consolidate(traffic, 2.0)
+        except InfeasibleError:
+            return
+        validate_result(FT, traffic, result)
+        assert len(result.routing) == len(traffic)
+        assert float(cons._state.residual.min()) >= 0.0
+
+    def test_rejects_subnet_restriction(self):
+        cons = GreedyConsolidator(
+            FT, engine="sharded", allowed_subnet=FT.full_subnet()
+        )
+        with pytest.raises(ConfigurationError):
+            cons.consolidate(bench_style_epochs(FT, 1, query_demand_bps=10e6)[0], 1.0)
+
+
+class TestBoundedCaches:
+    """Regression: the per-pair path caches must stay bounded (they
+    used to grow one entry per distinct (src, dst) forever)."""
+
+    def test_pair_cache_evicts(self):
+        cons = GreedyConsolidator(FT8, pair_cache_max=8)
+        hosts = list(FT8.hosts)
+        # a first solve initializes the packing state the pair cache
+        # masks against
+        cons.consolidate(
+            TrafficSet([Flow("f0", hosts[0], hosts[1], 1 * MBPS,
+                             FlowClass.LATENCY_TOLERANT)]),
+            1.0,
+        )
+        for i in range(40):
+            cons._pair(hosts[i], hosts[(i + 17) % len(hosts)])
+        assert len(cons._pair_cache) <= 8
+
+    def test_reference_path_cache_evicts(self):
+        cons = GreedyConsolidator(FT8, engine="reference", pair_cache_max=8)
+        hosts = list(FT8.hosts)
+        for i in range(40):
+            cons._allowed_paths(hosts[i], hosts[(i + 17) % len(hosts)])
+        assert len(cons._allowed_path_cache) <= 8
+
+    def test_engines_still_agree_under_tiny_cache(self):
+        traffic = bench_style_epochs(FT, 1, query_demand_bps=10e6)[0]
+        expected = GreedyConsolidator(FT).consolidate(traffic, 2.0)
+        small = GreedyConsolidator(FT, pair_cache_max=2).consolidate(traffic, 2.0)
+        assert digest(small) == digest(expected)
+
+
+class TestDeltaAndController:
+    """Sharded full solves under the delta fallback ladder."""
+
+    def test_delta_epochs_with_sharded_fallback(self):
+        dc = DeltaConsolidator(FT8, engine="sharded", shards=4, shard_jobs=1)
+        modes = []
+        for traffic in bench_style_epochs(FT8, 4):
+            result = dc.consolidate(traffic, 2.0)
+            validate_result(FT8, traffic, result)
+            modes.append(dc.last_stats.mode)
+        assert modes[0] == "full"
+        assert dc.inner.last_sharded_stats is not None
+
+    def test_local_repair_warm_state_from_sharded_solve(self):
+        """local_repair's warm fast path reads the delta records a
+        sharded full solve seeded (single-row path views)."""
+        from repro.consolidation import local_repair
+
+        h = list(FT8.hosts)
+        flows = [
+            Flow(f"f{i:02d}", h[i], h[(i + 37) % len(h)], (10 + i) * 1e6,
+                 FlowClass.LATENCY_TOLERANT)
+            for i in range(24)
+        ]
+        traffic = TrafficSet(flows)
+        delta = DeltaConsolidator(
+            FT8, engine="sharded", shards=2, shard_jobs=1, drift_bound=0.5
+        )
+        res = delta.consolidate(traffic, 1.0)
+        carried = {
+            n for _, p in res.routing.items() for n in p if FT8.is_switch(n)
+        }
+        victim = sorted(s for s in carried if s.startswith("a"))[0]
+        degraded = res.subnet.without({victim}, ())
+
+        cold = local_repair(degraded, traffic, res.routing, scale_factor=1.0)
+        warm = local_repair(
+            degraded, traffic, res.routing, scale_factor=1.0, warm_state=delta
+        )
+        assert delta.repair_residuals(sorted(f.flow_id for f in flows[:2])) is not None
+        assert dict(cold.routing.items()) == dict(warm.routing.items())
+        assert cold.repaired_flows == warm.repaired_flows
+
+    def test_controller_delta_mode_dispatches_sharded(self):
+        inner = GreedyConsolidator(FT8, engine="sharded", shards=4, shard_jobs=1)
+        ctrl = SdnController(
+            inner, scale_factor=2.0, mode="delta", delta_full_refresh_epochs=2
+        )
+        epochs = bench_style_epochs(FT8, 4)
+        fallback_reasons = []
+        for traffic in epochs:
+            out = ctrl.run_epoch(traffic)
+            assert out.delta_stats is not None
+            if out.delta_stats.mode == "full":
+                fallback_reasons.append(out.delta_stats.fallback_reason)
+        # cold start + the forced periodic refresh both ran full solves
+        # through the sharded engine.
+        assert len(fallback_reasons) >= 2
+        assert inner.last_sharded_stats is not None
+        assert inner.last_sharded_stats.n_shards == 4
