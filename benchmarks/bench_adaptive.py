@@ -1,0 +1,222 @@
+"""Benchmark: adaptive joint control on the adversarial pack.
+
+Replays adversarial scenarios through the ``adaptive-run`` exec op for
+every fixed grid arm (guardrail off), the guardrail-only configuration,
+and the adaptive controllers (joint hysteresis, contextual bandit), and
+reports per-policy wall time, total cost, SLA violations and cumulative
+regret against the per-regime oracle recovered from the fixed arms.
+
+Also verifies two determinism contracts on the hysteresis replay:
+
+* **jobs-invariance** — the sweep run serially and with a worker pool
+  must produce bit-identical records (scenarios are rebuilt from
+  ``(name, seed)`` inside each worker; nothing non-picklable crosses
+  the process boundary);
+* **journal resume** — re-running the sweep against its own journal
+  with ``resume=True`` serves every outcome from the journal and the
+  served records are bit-identical to the live run.
+
+Run as a module (repository root on ``sys.path``, ``src`` on
+``PYTHONPATH``)::
+
+    PYTHONPATH=src python -m benchmarks.bench_adaptive
+    PYTHONPATH=src python -m benchmarks.bench_adaptive --quick  # CI smoke
+
+Emits ``BENCH_adaptive.json``.  Targets: on every benchmarked scenario
+the hysteresis controller's cumulative regret stays at or below the
+worst fixed-K baseline's (it is the point of the adaptive loop that it
+should track the best arm, not the worst); ``--quick`` covers
+flash-crowd + compound at k=4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.control.adaptive import default_operating_grid, oracle_costs, regret_series
+from repro.exec import ExecContext, SweepTask, run_sweep, use_context
+from repro.workloads.adversarial import ADVERSARIAL_SCENARIOS
+
+SEED = 0
+SLA_PENALTY_J = 4e5
+ARITY = 4
+
+
+def scenario_tasks(scenario: str, n_epochs: int | None):
+    """The fixed-arm + guardrail-only + adaptive task list for one scenario."""
+    grid = default_operating_grid()
+    common = dict(
+        scenario=scenario,
+        arity=ARITY,
+        n_epochs=n_epochs,
+        scenario_seed=SEED,
+        seed=SEED,
+        sla_penalty_j=SLA_PENALTY_J,
+    )
+    tasks = [
+        SweepTask.make(
+            "adaptive-run",
+            tag=f"fixed-{p.label}",
+            policy="fixed",
+            fixed_k=p.k,
+            fixed_governor=p.governor,
+            fixed_inflation=p.staleness_inflation,
+            guardrail_on=False,
+            **common,
+        )
+        for p in grid
+    ]
+    top = grid[-1]
+    tasks.append(
+        SweepTask.make(
+            "adaptive-run",
+            tag="guardrail-only",
+            policy="fixed",
+            fixed_k=top.k,
+            fixed_governor=top.governor,
+            fixed_inflation=top.staleness_inflation,
+            guardrail_on=True,
+            **common,
+        )
+    )
+    for policy in ("hysteresis", "bandit"):
+        tasks.append(
+            SweepTask.make("adaptive-run", tag=policy, policy=policy, **common)
+        )
+    return tasks
+
+
+def bench_scenario(scenario: str, n_epochs: int | None, ctx: ExecContext) -> dict:
+    tasks = scenario_tasks(scenario, n_epochs)
+    t0 = time.perf_counter()
+    with use_context(ctx):
+        outcomes = run_sweep(tasks)
+    wall_s = time.perf_counter() - t0
+    records = {o.task.tag: o.unwrap() for o in outcomes}
+
+    arm_costs = {
+        tag: rec["costs_j"] for tag, rec in records.items() if tag.startswith("fixed-")
+    }
+    regimes = tuple(next(iter(records.values()))["regimes"])
+    oracle, choice = oracle_costs(arm_costs, regimes)
+    rows = []
+    for tag, rec in sorted(records.items()):
+        _, regret = regret_series(rec["costs_j"], oracle)
+        rows.append(
+            {
+                "policy": tag,
+                "epochs": rec["epochs"],
+                "violations": rec["violation_epochs"],
+                "total_energy_j": rec["total_energy_j"],
+                "total_cost_j": rec["total_cost_j"],
+                "regret_j": regret,
+                "adaptive_applied": rec["adaptive_applied"],
+                "adaptive_deferred": rec["adaptive_deferred"],
+            }
+        )
+    worst_fixed = max(r["regret_j"] for r in rows if r["policy"].startswith("fixed-"))
+    hyst = next(r for r in rows if r["policy"] == "hysteresis")
+    if hyst["regret_j"] > worst_fixed:
+        raise AssertionError(
+            f"{scenario}: hysteresis cumulative regret {hyst['regret_j']:.3e} J "
+            f"exceeds the worst fixed-K baseline's {worst_fixed:.3e} J"
+        )
+    print(
+        f"  {scenario}: {len(tasks)} replays in {wall_s:5.1f}s  "
+        f"hysteresis regret={hyst['regret_j'] / 1e6:6.3f}MJ "
+        f"worst-fixed={worst_fixed / 1e6:6.3f}MJ "
+        f"violations={hyst['violations']}"
+    )
+    return {
+        "scenario": scenario,
+        "wall_s": wall_s,
+        "oracle": {str(k): v for k, v in sorted(choice.items())},
+        "worst_fixed_regret_j": worst_fixed,
+        "rows": rows,
+    }
+
+
+def check_determinism(scenario: str, n_epochs: int | None, jobs: int) -> dict:
+    """Jobs-invariance + journal-resume contracts on the hysteresis replay."""
+    tasks = scenario_tasks(scenario, n_epochs)
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = str(Path(tmp) / "adaptive.journal")
+        with use_context(ExecContext(jobs=1, cache=False)):
+            serial = [o.unwrap() for o in run_sweep(tasks, journal_path=journal)]
+        t0 = time.perf_counter()
+        with use_context(ExecContext(jobs=jobs, cache=False)):
+            pooled = [o.unwrap() for o in run_sweep(tasks)]
+        pooled_s = time.perf_counter() - t0
+        if serial != pooled:
+            raise AssertionError(
+                f"{scenario}: replay records differ between jobs=1 and jobs={jobs}"
+            )
+        with use_context(ExecContext(jobs=1, cache=False)):
+            resumed = [
+                o.unwrap()
+                for o in run_sweep(tasks, journal_path=journal, resume=True)
+            ]
+        if serial != resumed:
+            raise AssertionError(
+                f"{scenario}: journal-resumed records differ from the live run"
+            )
+    print(
+        f"  {scenario}: jobs=1 == jobs={jobs} == journal-resume "
+        f"({len(tasks)} replays, pooled {pooled_s:.1f}s)"
+    )
+    return {"scenario": scenario, "jobs": jobs, "tasks": len(tasks), "ok": True}
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenarios", nargs="+", default=list(ADVERSARIAL_SCENARIOS)
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=None,
+        help="override scenario epoch count (default: each builder's full length)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker-pool size for the jobs-invariance check",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: flash-crowd + compound only, 16 epochs",
+    )
+    parser.add_argument("--out", default="BENCH_adaptive.json")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.scenarios = ["flash-crowd", "compound"]
+        args.epochs = args.epochs or 16
+
+    ctx = ExecContext(jobs=1, cache=False)
+    print(f"adaptive replays (k={ARITY}, seed={SEED}):")
+    results = [bench_scenario(s, args.epochs, ctx) for s in args.scenarios]
+
+    print("determinism contracts:")
+    determinism = [check_determinism(args.scenarios[0], args.epochs, args.jobs)]
+
+    payload = {
+        "benchmark": "bench_adaptive",
+        "arity": ARITY,
+        "seed": SEED,
+        "sla_penalty_j": SLA_PENALTY_J,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+        "determinism": determinism,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

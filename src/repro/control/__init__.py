@@ -1,5 +1,15 @@
 """SDN control plane: monitoring, optimization loop, reconfiguration."""
 
+from .adaptive import (
+    ContextualBanditController,
+    FixedPolicy,
+    JointHysteresisController,
+    OperatingPoint,
+    default_operating_grid,
+    oracle_costs,
+    regret_series,
+    replay_scenario,
+)
 from .controller import SWITCH_POWER_ON_S, EpochOutcome, SdnController
 from .guardrail import (
     GUARD_COMMITTED,
@@ -44,4 +54,12 @@ __all__ = [
     "ReconfigurationPlan",
     "diff_routings",
     "diff_subnets",
+    "OperatingPoint",
+    "default_operating_grid",
+    "FixedPolicy",
+    "JointHysteresisController",
+    "ContextualBanditController",
+    "oracle_costs",
+    "regret_series",
+    "replay_scenario",
 ]

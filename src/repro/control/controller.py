@@ -202,6 +202,8 @@ class SdnController:
         self.failed_switches: set[str] = set()
         self.failed_links: set[tuple[str, str]] = set()
         self.resilience = ResilienceLog()
+        self.adaptive_applied = 0
+        self.adaptive_deferred = 0
 
     # -- state ---------------------------------------------------------------------
 
@@ -235,6 +237,15 @@ class SdnController:
         out["switch_power_ons"] = self.switch_power_on_count
         if self._delta is not None:
             out["delta"] = self._delta.counters()
+        if self.guardrail is not None:
+            out["guardrail"] = self.guardrail.summary()
+            if self.guardrail.kcontrol is not None:
+                out["kcontrol"] = self.guardrail.kcontrol.counters()
+        if self.adaptive_applied or self.adaptive_deferred:
+            out["adaptive"] = {
+                "applied": self.adaptive_applied,
+                "deferred": self.adaptive_deferred,
+            }
         return out
 
     def set_scale_factor(self, k: float) -> None:
@@ -243,6 +254,46 @@ class SdnController:
         if k < 1.0:
             raise ConfigurationError(f"scale factor must be >= 1, got {k}")
         self.scale_factor = k
+
+    def apply_operating_point(self, point) -> bool:
+        """Adopt an adaptive layer's (K, staleness_inflation) proposal.
+
+        ``point`` duck-types :class:`~repro.control.adaptive.OperatingPoint`
+        (``k`` and ``staleness_inflation`` attributes; the governor knob
+        is consumed server-side, outside this controller).  Returns
+        whether the proposal was adopted.  The adaptive layer yields to
+        the guardrail rather than fighting it: a proposal that *shrinks*
+        K is deferred while the watchdog has just rolled back or
+        escalated, or while its cooldown is still running — the
+        watchdog raised headroom for a reason, and the admission gate
+        would refuse the shrinking commit anyway.  A proposal moving
+        the same direction (K at least the value in force) supersedes
+        the watchdog's own adjustment, so exactly one K change lands
+        per epoch either way.
+
+        An adopted K is synced into the guardrail's kcontrol
+        (:meth:`~repro.control.kcontrol.ScaleFactorController.sync`),
+        keeping later escalations stepping from the K actually in
+        force.  The guardrail's rollback target is never touched.
+        """
+        g = self.guardrail
+        if g is not None and point.k < self.scale_factor:
+            last = g.decisions[-1] if g.decisions else None
+            watchdog_acted = (
+                last is not None
+                and last.epoch == self._epoch - 1
+                and last.action in (GUARD_ROLLBACK, GUARD_ESCALATE)
+            )
+            if watchdog_acted or g.in_cooldown:
+                self.adaptive_deferred += 1
+                return False
+        self.monitor.staleness_inflation = float(point.staleness_inflation)
+        if point.k != self.scale_factor:
+            if g is not None and g.kcontrol is not None:
+                g.kcontrol.sync(point.k)
+            self.set_scale_factor(point.k)
+        self.adaptive_applied += 1
+        return True
 
     def transition_downtime_s(self) -> float:
         """Cumulative switch power-on latency incurred so far."""

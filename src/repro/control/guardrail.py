@@ -197,15 +197,18 @@ class SlaGuardrail:
 
         Bypasses the kcontrol dead band deliberately: the watchdog has
         *observed* a violation, which outranks the tail-tracking
-        heuristic.
+        heuristic.  The step lands in kcontrol's decision log (reason
+        ``"escalated"``), so the audit trail distinguishes watchdog
+        moves from tracking moves.
         """
         kc = self.kcontrol
-        if kc is None or kc.k >= kc.k_max:
+        if kc is None:
             return None
-        kc.k = min(kc.k + kc.step, kc.k_max)
-        kc.adjustments += 1
+        new_k = kc.escalate()
+        if new_k is None:
+            return None
         self.escalations += 1
-        return kc.k
+        return new_k
 
     def start_cooldown(self) -> None:
         self.cooldown_left = self.cooldown_epochs

@@ -11,13 +11,57 @@ tail near — but inside — the network budget:
 
 A dead band between the two thresholds prevents oscillation, and K is
 confined to ``[1, k_max]`` (Eq. 3's box constraint).
+
+Every state change is recorded as a :class:`KControlDecision` — the
+adaptive layer, the guardrail's escalation hook and the plain tracking
+loop all move the same K, and without a shared audit trail their
+interactions are undebuggable.  The log is surfaced through
+``SdnController.telemetry_counters()["kcontrol"]``.
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
+
 from ..errors import ConfigurationError
 
-__all__ = ["ScaleFactorController"]
+__all__ = [
+    "KControlDecision",
+    "ScaleFactorController",
+    "K_RAISE",
+    "K_LOWER",
+    "K_DEADBAND",
+    "K_CLAMPED",
+    "K_HELD_MISSING",
+    "K_ESCALATED",
+    "K_SYNC",
+]
+
+#: Decision reasons (one per :class:`KControlDecision`).
+K_RAISE = "raise"              # tail above the upper threshold, K stepped up
+K_LOWER = "lower"              # tail below the lower threshold, K stepped down
+K_DEADBAND = "deadband"        # tail inside the hysteresis band, K held
+K_CLAMPED = "clamped"          # wanted to move but already at a box bound
+K_HELD_MISSING = "held_missing"  # no usable measurement; last K held
+K_ESCALATED = "escalated"      # guardrail watchdog forced a step up
+K_SYNC = "sync"                # external (adaptive) layer adopted a new K
+
+
+@dataclass(frozen=True)
+class KControlDecision:
+    """One audited K-control state transition.
+
+    ``measured_tail_s`` is ``None`` for decisions that did not come from
+    a tail measurement (:data:`K_HELD_MISSING`, :data:`K_ESCALATED`,
+    :data:`K_SYNC`).
+    """
+
+    epoch: int
+    measured_tail_s: float | None
+    k_before: float
+    k_after: float
+    reason: str
 
 
 class ScaleFactorController:
@@ -49,19 +93,126 @@ class ScaleFactorController:
         self.lower_fraction = lower_fraction
         self.step = step
         self.adjustments = 0
+        self.holds = 0
+        self.syncs = 0
+        self.escalations = 0
+        self.decisions: list[KControlDecision] = []
+        self._epoch = 0
+
+    # -- decision bookkeeping ----------------------------------------------------
+
+    def _record(self, tail: float | None, k_before: float, reason: str) -> None:
+        self.decisions.append(
+            KControlDecision(
+                epoch=self._epoch,
+                measured_tail_s=tail,
+                k_before=k_before,
+                k_after=self.k,
+                reason=reason,
+            )
+        )
+        self._epoch += 1
+
+    def counters(self) -> dict:
+        """Picklable audit payload (telemetry_counters()["kcontrol"]).
+
+        ``reasons`` tallies every decision by reason so adaptive-vs-
+        guardrail interactions (who moved K, when, and why) are
+        reconstructible from a sweep result without the full log.
+        """
+        reasons: dict[str, int] = {}
+        for d in self.decisions:
+            reasons[d.reason] = reasons.get(d.reason, 0) + 1
+        return {
+            "k": self.k,
+            "adjustments": self.adjustments,
+            "holds": self.holds,
+            "syncs": self.syncs,
+            "escalations": self.escalations,
+            "decisions": len(self.decisions),
+            "reasons": reasons,
+        }
+
+    # -- the control step --------------------------------------------------------
 
     def update(self, measured_tail_s: float) -> float:
         """Fold one epoch's measured query tail latency; returns the K
-        to use for the next epoch."""
+        to use for the next epoch.
+
+        Accepts only a finite, non-negative tail.  Under fully-blinded
+        telemetry epochs (every stats reply lost) the latency monitor
+        can surface ``nan`` — feeding that into the comparison ladder
+        would silently take the dead-band branch (``nan`` compares
+        false everywhere) and masquerade as a deliberate hold.  Callers
+        with a missing measurement must use :meth:`hold_last_k`.
+        """
+        if not isinstance(measured_tail_s, (int, float)):
+            raise ConfigurationError(
+                f"measured tail must be a number, got {type(measured_tail_s).__name__}"
+            )
+        if not math.isfinite(measured_tail_s):
+            raise ConfigurationError(
+                f"measured tail must be finite, got {measured_tail_s!r} "
+                "(blinded-telemetry epochs must call hold_last_k())"
+            )
         if measured_tail_s < 0:
             raise ConfigurationError("measured tail must be non-negative")
+        k_before = self.k
         if measured_tail_s > self.upper_fraction * self.network_budget_s:
-            new_k = min(self.k + self.step, self.k_max)
+            new_k, reason = min(self.k + self.step, self.k_max), K_RAISE
         elif measured_tail_s < self.lower_fraction * self.network_budget_s:
-            new_k = max(self.k - self.step, 1.0)
+            new_k, reason = max(self.k - self.step, 1.0), K_LOWER
         else:
-            new_k = self.k
+            new_k, reason = self.k, K_DEADBAND
         if new_k != self.k:
             self.adjustments += 1
             self.k = new_k
+        elif reason != K_DEADBAND:
+            # Wanted to move but the box constraint already binds.
+            reason = K_CLAMPED
+        self._record(float(measured_tail_s), k_before, reason)
+        return self.k
+
+    def hold_last_k(self) -> float:
+        """The missing-measurement path: keep the last K, audited.
+
+        A blinded epoch carries no information, so the only defensible
+        move is none — but it must still appear in the decision log,
+        otherwise a run with lost telemetry looks identical to one
+        where the loop simply never ran.
+        """
+        self.holds += 1
+        self._record(None, self.k, K_HELD_MISSING)
+        return self.k
+
+    def escalate(self) -> float | None:
+        """One forced step up (the guardrail watchdog's hook), bypassing
+        the dead band; ``None`` when already at ``k_max``."""
+        if self.k >= self.k_max:
+            return None
+        k_before = self.k
+        self.k = min(self.k + self.step, self.k_max)
+        self.adjustments += 1
+        self.escalations += 1
+        self._record(None, k_before, K_ESCALATED)
+        return self.k
+
+    def sync(self, k: float) -> float:
+        """Adopt an externally-chosen K (the adaptive layer's move).
+
+        Keeps the escalation base coherent: when the adaptive joint
+        controller moves K, a later guardrail escalation must step up
+        from the K actually in force, not from a stale tracking value.
+        Counted separately from :attr:`adjustments` (those are this
+        controller's own moves).
+        """
+        if not 1.0 <= k <= self.k_max:
+            raise ConfigurationError(
+                f"sync K must lie in [1, {self.k_max}], got {k}"
+            )
+        if k != self.k:
+            k_before = self.k
+            self.k = float(k)
+            self.syncs += 1
+            self._record(None, k_before, K_SYNC)
         return self.k

@@ -47,6 +47,8 @@ __all__ = [
     "consolidate_op",
     "failure_run_op",
     "telemetry_run_op",
+    "adaptive_run_op",
+    "ADAPTIVE_POLICIES",
     "server_sim_op",
     "joint_eval_op",
     "joint_eval_batch_op",
@@ -376,6 +378,88 @@ def telemetry_run_op(
         "telemetry": collector.accounting(),
         "monitor": monitor.telemetry_counters(),
     }
+
+
+# -- adaptive control on adversarial workloads -------------------------------------
+
+ADAPTIVE_POLICIES = ("fixed", "hysteresis", "bandit")
+
+
+@task_fn("adaptive-run")
+def adaptive_run_op(
+    *,
+    scenario: str,
+    policy: str,
+    arity: int = 4,
+    n_epochs: int | None = None,
+    scenario_seed: int = 0,
+    seed: int = 0,
+    fixed_k: float = 4.0,
+    fixed_governor: str = "no-pm",
+    fixed_inflation: float = 0.0,
+    guardrail_on: bool = True,
+    sla_penalty_j: float = 4e5,
+    k_max: float = 4.0,
+    epoch_s: float = 600.0,
+    n_polls: int = 8,
+    n_latency_samples: int = 40,
+    engine: str = "indexed",
+) -> dict:
+    """Replay one adversarial scenario under one operating-point policy
+    — the adversarial-regret-sweep unit of work.
+
+    ``scenario`` is a builder name from
+    :data:`repro.workloads.ADVERSARIAL_SCENARIOS` (the scenario object
+    itself holds numpy series, so the spec carries only the name and
+    seeds and rebuilds it here — keeping the spec canonical-JSON-able
+    and the result cacheable).  ``policy`` is one of
+    :data:`ADAPTIVE_POLICIES`; ``fixed_*`` select the operating point
+    when it is ``"fixed"`` (the regret oracle's arms are fixed-policy
+    runs with ``guardrail_on=False``; a fixed policy *with* the
+    guardrail is the guardrail-only configuration).  Returns the
+    closed-loop replay record of
+    :func:`repro.control.adaptive.replay_scenario`: per-epoch costs,
+    violations, K/governor series and controller counters.
+    """
+    from ..control.adaptive import (
+        ContextualBanditController,
+        FixedPolicy,
+        JointHysteresisController,
+        OperatingPoint,
+        replay_scenario,
+    )
+    from ..workloads.adversarial import build_scenario
+
+    scen = build_scenario(scenario, n_epochs=n_epochs, seed=scenario_seed)
+    if policy == "fixed":
+        pol = FixedPolicy(
+            OperatingPoint(
+                k=fixed_k,
+                governor=fixed_governor,
+                staleness_inflation=fixed_inflation,
+            )
+        )
+    elif policy == "hysteresis":
+        pol = JointHysteresisController()
+    elif policy == "bandit":
+        pol = ContextualBanditController(seed_or_rng=seed)
+    else:
+        raise ConfigurationError(
+            f"unknown adaptive policy {policy!r}; known: {ADAPTIVE_POLICIES}"
+        )
+    return replay_scenario(
+        scen,
+        pol,
+        arity=arity,
+        k_max=k_max,
+        epoch_s=epoch_s,
+        n_polls=n_polls,
+        n_latency_samples=n_latency_samples,
+        seed=seed,
+        sla_penalty_j=sla_penalty_j,
+        engine=engine,
+        guardrail_on=guardrail_on,
+    )
 
 
 # -- server simulation -------------------------------------------------------------

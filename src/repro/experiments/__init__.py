@@ -12,6 +12,7 @@ from . import (  # noqa: F401  (imported for registry side effects)
     ablation_server,
     ablation_sleep,
     adaptive_k,
+    adversarial,
     churn,
     datacenter_scale,
     failures,

@@ -1,8 +1,18 @@
-"""Workload generators: search deployment and diurnal traces."""
+"""Workload generators: search deployment, diurnal and adversarial traces."""
 
+from .adversarial import (
+    ADVERSARIAL_SCENARIOS,
+    AdversarialScenario,
+    FaultSpec,
+    build_scenario,
+    compound,
+    flash_crowd,
+    incast_bursts,
+    regime_change,
+)
 from .diurnal import MINUTES_PER_DAY, DiurnalTrace, synth_diurnal_trace
 from .search import SearchWorkload
-from .traceio import load_trace_csv, save_trace_csv
+from .traceio import load_trace_csv, save_trace_csv, scenario_fingerprint
 
 __all__ = [
     "SearchWorkload",
@@ -11,4 +21,13 @@ __all__ = [
     "MINUTES_PER_DAY",
     "save_trace_csv",
     "load_trace_csv",
+    "AdversarialScenario",
+    "FaultSpec",
+    "flash_crowd",
+    "incast_bursts",
+    "regime_change",
+    "compound",
+    "build_scenario",
+    "ADVERSARIAL_SCENARIOS",
+    "scenario_fingerprint",
 ]

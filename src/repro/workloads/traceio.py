@@ -29,6 +29,7 @@ __all__ = [
     "save_trace_csv",
     "load_trace_csv",
     "trace_fingerprint",
+    "scenario_fingerprint",
     "publish_shared_trace",
     "shared_trace",
 ]
@@ -97,6 +98,38 @@ def trace_fingerprint(trace: DiurnalTrace) -> str:
     for arr in (trace.minutes, trace.search_load, trace.background_utilization):
         a = np.ascontiguousarray(arr, dtype=np.float64)
         h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def scenario_fingerprint(scenario) -> str:
+    """Content key of an :class:`~repro.workloads.adversarial.AdversarialScenario`.
+
+    Extends the trace fingerprint with every overlay that changes what a
+    replay experiences — regime labels, incast shape, fault and
+    telemetry parameters — so two scenarios with identical load series
+    but different overlays never collide in the cache.
+    """
+    h = hashlib.sha256()
+    h.update(trace_fingerprint(scenario.trace()).encode())
+    meta = [
+        scenario.kind,
+        scenario.regimes,
+        scenario.incast_epochs,
+        scenario.incast_fanin,
+        scenario.incast_demand_fraction,
+        scenario.seed,
+    ]
+    if scenario.faults is not None:
+        f = scenario.faults
+        meta.append(
+            (f.switch_fail_prob, f.link_fail_prob, f.mean_repair_epochs, f.seed)
+        )
+    if scenario.telemetry is not None:
+        t = scenario.telemetry
+        meta.append(
+            (t.stats_loss_prob, t.stale_prob, t.delay_prob, t.noise_frac, t.seed)
+        )
+    h.update(repr(meta).encode())
     return h.hexdigest()
 
 

@@ -1,0 +1,352 @@
+"""Adaptive joint operating-point control: grid, policies, regret, replay."""
+
+import math
+
+import pytest
+
+from repro.control.adaptive import (
+    GOVERNOR_HEADROOM,
+    ContextualBanditController,
+    FixedPolicy,
+    JointHysteresisController,
+    OperatingPoint,
+    ServerSurrogate,
+    default_operating_grid,
+    oracle_costs,
+    regret_series,
+    replay_scenario,
+)
+from repro.errors import ConfigurationError
+from repro.exec.ops import adaptive_run_op
+from repro.server.dvfs import XEON_LADDER
+from repro.workloads.adversarial import build_scenario, flash_crowd
+
+
+class TestOperatingPoint:
+    def test_label(self):
+        assert OperatingPoint(2.0, "no-pm").label == "k2-no-pm"
+        assert (
+            OperatingPoint(4.0, "eprons-server", 0.3).label
+            == "k4-eprons-server-i0.3"
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(0.5, "no-pm")
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(2.0, "not-a-governor")
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(2.0, "no-pm", -0.1)
+
+    def test_grid_is_governor_major_conservativeness_order(self):
+        grid = default_operating_grid()
+        labels = [p.label for p in grid]
+        # All eprons points precede all no-pm points (server power
+        # dwarfs the per-K network delta), K ascending within each.
+        assert labels == [
+            "k1-eprons-server",
+            "k2-eprons-server",
+            "k4-eprons-server",
+            "k1-no-pm",
+            "k2-no-pm",
+            "k4-no-pm",
+        ]
+        keys = [p.conservativeness() for p in grid]
+        assert keys == sorted(keys)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_operating_grid(ks=())
+
+
+class TestServerSurrogate:
+    def test_no_pm_runs_flat_out(self):
+        s = ServerSurrogate()
+        w_quiet, t_quiet = s.step("no-pm", 0.3)
+        w_busy, t_busy = s.step("no-pm", 0.85)
+        assert w_busy > w_quiet
+        assert t_quiet < t_busy < 0.03  # never saturates below the knee
+
+    def test_governor_lag_saturates_on_surge_onset(self):
+        """The planned frequency is for *last* epoch's load: a quiet
+        epoch followed by a surge lands the surge on a lull frequency,
+        saturating an aggressive governor; no-pm rides it out."""
+        eprons = ServerSurrogate()
+        eprons.step("eprons-server", 0.3)
+        _, onset_tail = eprons.step("eprons-server", 0.85)
+        assert onset_tail > 0.2  # saturated backlog
+        _, plateau_tail = eprons.step("eprons-server", 0.85)
+        assert plateau_tail < 0.05  # re-planned for the surge
+
+        nopm = ServerSurrogate()
+        nopm.step("no-pm", 0.3)
+        _, nopm_onset = nopm.step("no-pm", 0.85)
+        assert nopm_onset < 0.05
+
+    def test_governed_quiet_epochs_are_cheaper(self):
+        a, b = ServerSurrogate(), ServerSurrogate()
+        a.step("eprons-server", 0.3)
+        b.step("no-pm", 0.3)
+        w_eprons, _ = a.step("eprons-server", 0.3)
+        w_nopm, _ = b.step("no-pm", 0.3)
+        assert w_eprons < w_nopm
+
+    def test_frequency_clamps_to_ladder(self):
+        s = ServerSurrogate()
+        s.step("eprons-server", 0.05)
+        # planned 0.05*1.1 of f_max is far below the ladder floor; the
+        # clamp keeps the busy fraction bounded rather than exploding.
+        _, tail = s.step("eprons-server", 0.05)
+        f_min = XEON_LADDER.frequencies[0]
+        assert tail <= s.base_tail_s * (XEON_LADDER.f_max / f_min) / (1 - 0.97) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServerSurrogate(base_tail_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ServerSurrogate().step("no-pm", 0.0)
+        with pytest.raises(ConfigurationError):
+            ServerSurrogate().step("no-pm", 1.5)
+
+
+class TestFixedPolicy:
+    def test_constant_and_non_adaptive(self):
+        p = FixedPolicy(OperatingPoint(2.0, "no-pm"))
+        assert p.adaptive is False
+        assert p.propose({}) == p.propose({"violated": True}) == p.point
+        p.observe(10.0)
+        p.observe(5.0)
+        assert p.total_cost_j == 15.0
+
+
+class TestJointHysteresis:
+    def points(self):
+        return default_operating_grid()
+
+    def test_starts_at_top(self):
+        c = JointHysteresisController()
+        assert c.propose({}) == self.points()[-1]
+
+    def test_violation_jumps_to_top(self):
+        c = JointHysteresisController(start="bottom")
+        assert c.propose({}) == self.points()[0]
+        out = c.propose({"violated": True, "tail_s": 0.05, "net_tail_s": 0.05})
+        assert out == self.points()[-1]
+        assert c.escalations == 1
+
+    def test_comfortable_streak_relaxes_to_floor(self):
+        c = JointHysteresisController(relax_after=2, cooldown_epochs=0)
+        clear = {"violated": False, "tail_s": 1e-3, "net_tail_s": 1e-4}
+        c.propose(clear)
+        c.propose(clear)
+        assert c.propose(clear) == self.points()[0]  # jump, not step
+
+    def test_network_scar_blocks_small_k(self):
+        """A network violation at K=2 disproves every K <= 2 point; the
+        relaxation floor lands on the cheapest K=4 point instead."""
+        c = JointHysteresisController(relax_after=1, cooldown_epochs=0,
+                                      scar_epochs=10)
+        ran = OperatingPoint(2.0, "eprons-server")
+        c.propose({"violated": True, "tail_s": 0.04, "net_tail_s": 0.04,
+                   "point": ran})
+        clear = {"violated": False, "tail_s": 1e-3, "net_tail_s": 1e-4}
+        c.propose(clear)
+        out = c.propose(clear)
+        assert out.k == 4.0  # k1/k2 scarred in both governor branches
+        assert out == next(p for p in self.points() if p.k == 4.0)
+
+    def test_server_scar_is_point_exact(self):
+        """A server-side violation (net tail inside budget) scars only
+        the exact (K, governor) that saturated."""
+        c = JointHysteresisController(relax_after=1, cooldown_epochs=0,
+                                      scar_epochs=10)
+        ran = self.points()[0]  # k1-eprons
+        c.propose({"violated": True, "tail_s": 0.26, "net_tail_s": 1e-3,
+                   "point": ran})
+        clear = {"violated": False, "tail_s": 1e-3, "net_tail_s": 1e-4}
+        c.propose(clear)
+        out = c.propose(clear)
+        assert out == self.points()[1]  # floor skips exactly the scarred point
+
+    def test_scars_expire(self):
+        c = JointHysteresisController(relax_after=1, cooldown_epochs=0,
+                                      scar_epochs=2)
+        c.propose({"violated": True, "tail_s": 0.04, "net_tail_s": 0.04,
+                   "point": self.points()[-1]})  # scars every point
+        clear = {"violated": False, "tail_s": 1e-3, "net_tail_s": 1e-4}
+        c.propose(clear)  # clock 2; scars live until 3
+        c.propose(clear)  # clock 3
+        assert c.propose(clear) == self.points()[0]  # clock 4: expired
+
+    def test_cooldown_blocks_immediate_tighten(self):
+        c = JointHysteresisController(start="bottom", cooldown_epochs=2,
+                                      relax_after=99)
+        warm = {"violated": False, "tail_s": 0.028, "net_tail_s": 1e-4}
+        # the first warm epoch steps up and arms the cooldown...
+        assert c.propose(warm) == self.points()[1]
+        # ...which holds the next two warm epochs before the next step.
+        assert c.propose(warm) == self.points()[1]
+        assert c.propose(warm) == self.points()[1]
+        assert c.propose(warm) == self.points()[2]
+
+    def test_scar_uses_ran_point_not_intent(self):
+        """When the controller deferred our proposal, the violation
+        must scar what actually ran (small K), not the top we wanted."""
+        c = JointHysteresisController()  # starts at top
+        c.propose({})
+        ran = OperatingPoint(1.0, "eprons-server")
+        c.propose({"violated": True, "tail_s": 0.04, "net_tail_s": 0.04,
+                   "point": ran})
+        live = {i for i, until in c._scars.items() if until > c._clock}
+        scarred = {c.points[i].label for i in live}
+        assert scarred == {"k1-eprons-server", "k1-no-pm"}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JointHysteresisController(upper_fraction=0.5, lower_fraction=0.6)
+        with pytest.raises(ConfigurationError):
+            JointHysteresisController(relax_after=0)
+        with pytest.raises(ConfigurationError):
+            JointHysteresisController(cooldown_epochs=-1)
+        with pytest.raises(ConfigurationError):
+            JointHysteresisController(start="middle")
+
+
+class TestContextualBandit:
+    def test_seeded_replay_is_identical(self):
+        ctxs = [
+            {"tail_s": t, "degraded_fraction": d, "churn_fraction": 0.1}
+            for t, d in [(1e-3, 0.0), (0.02, 0.1), (0.05, 0.0), (1e-3, 0.0)]
+        ] * 5
+        a = ContextualBanditController(seed_or_rng=3)
+        b = ContextualBanditController(seed_or_rng=3)
+        for ctx in ctxs:
+            pa, pb = a.propose(ctx), b.propose(ctx)
+            assert pa == pb
+            a.observe(1e5 * (1 + pa.k), ctx)
+            b.observe(1e5 * (1 + pb.k), ctx)
+        assert a.explorations == b.explorations
+
+    def test_learns_cheapest_arm_in_stationary_context(self):
+        c = ContextualBanditController(seed_or_rng=0, epsilon=0.3)
+        ctx = {"tail_s": 1e-3, "degraded_fraction": 0.0, "churn_fraction": 0.0}
+        grid = c.points
+        for _ in range(300):
+            p = c.propose(ctx)
+            # arm cost strictly increasing in grid position
+            c.observe(1e5 * (1 + grid.index(p)), ctx)
+        pulls = [c.propose(ctx) for _ in range(20)]
+        cheapest = grid[0]
+        assert sum(1 for p in pulls if p == cheapest) >= 15
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ContextualBanditController(epsilon=1.5)
+        with pytest.raises(ConfigurationError):
+            ContextualBanditController(ucb_c=-1.0)
+
+
+class TestRegretAccounting:
+    def test_oracle_picks_per_regime_argmin(self):
+        arm_costs = {
+            "small": (1.0, 1.0, 9.0, 9.0),
+            "large": (5.0, 5.0, 2.0, 2.0),
+        }
+        series, choice = oracle_costs(arm_costs, (0, 0, 1, 1))
+        assert choice == {0: "small", 1: "large"}
+        assert series == [1.0, 1.0, 2.0, 2.0]
+
+    def test_oracle_tie_breaks_by_name(self):
+        series, choice = oracle_costs(
+            {"b": (1.0,), "a": (1.0,)}, (0,)
+        )
+        assert choice == {0: "a"}
+
+    def test_oracle_validation(self):
+        with pytest.raises(ConfigurationError):
+            oracle_costs({}, (0,))
+        with pytest.raises(ConfigurationError):
+            oracle_costs({"a": (1.0, 2.0)}, (0,))
+
+    def test_regret_series_accumulates(self):
+        cum, total = regret_series((3.0, 3.0, 3.0), [1.0, 2.0, 3.0])
+        assert cum == [2.0, 3.0, 3.0]
+        assert total == 3.0
+        with pytest.raises(ConfigurationError):
+            regret_series((1.0,), [1.0, 2.0])
+
+
+SMALL = dict(n_epochs=10, seed=0)
+
+
+class TestReplay:
+    def small_scenario(self):
+        return flash_crowd(n_epochs=10, surge_period=5, surge_length=2, seed=0)
+
+    def test_replay_is_deterministic(self):
+        s = self.small_scenario()
+        a = replay_scenario(s, JointHysteresisController(), seed=1)
+        b = replay_scenario(s, JointHysteresisController(), seed=1)
+        assert a == b
+
+    def test_fixed_unguarded_holds_k(self):
+        s = self.small_scenario()
+        out = replay_scenario(
+            s, FixedPolicy(OperatingPoint(2.0, "no-pm")), guardrail_on=False
+        )
+        assert set(out["k_series"]) == {2.0}
+        assert set(out["governor_series"]) == {"no-pm"}
+        assert out["adaptive_applied"] == 0  # fixed is non-adaptive
+        assert out["policy"] == "fixed-k2-no-pm"
+        assert len(out["costs_j"]) == s.n_epochs
+        assert out["total_cost_j"] == pytest.approx(sum(out["costs_j"]))
+
+    def test_guardrail_only_moves_k_without_adaptive_calls(self):
+        """FixedPolicy + guardrail = the watchdog alone drives K."""
+        surge = flash_crowd(n_epochs=12, base_background=0.3,
+                            surge_scale=2.2, surge_period=6,
+                            surge_length=2, seed=0)
+        out = replay_scenario(
+            surge, FixedPolicy(OperatingPoint(1.0, "no-pm")), guardrail_on=True
+        )
+        assert out["adaptive_applied"] == out["adaptive_deferred"] == 0
+        guard = out["counters"]["guardrail"]
+        # the watchdog acted on the surge violations by itself
+        assert guard["violation_epochs"] > 0
+        assert guard["rollbacks"] + guard["escalations"] > 0
+        assert out["counters"]["kcontrol"]["decisions"] > 0
+
+    def test_adaptive_run_op_matches_direct_replay(self):
+        via_op = adaptive_run_op(
+            scenario="flash-crowd", policy="hysteresis",
+            n_epochs=10, scenario_seed=0, seed=0,
+        )
+        rebuilt = build_scenario("flash-crowd", n_epochs=10, seed=0)
+        direct = replay_scenario(rebuilt, JointHysteresisController(), seed=0)
+        assert via_op == direct
+        assert via_op["fingerprint"] == rebuilt.fingerprint()
+
+    def test_adaptive_run_op_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            adaptive_run_op(scenario="flash-crowd", policy="oracle")
+
+    def test_hysteresis_escalates_through_flash_crowd(self):
+        s = flash_crowd(n_epochs=14, surge_period=7, surge_length=2, seed=0)
+        out = replay_scenario(s, JointHysteresisController(start="bottom"))
+        # the surge forces at least one jump to a larger K...
+        assert max(out["k_series"]) == 4.0
+        # ...and the lull relaxes back down off the top point
+        assert min(out["k_series"][4:]) < 4.0
+
+    def test_compound_replay_applies_overlays(self):
+        out = adaptive_run_op(
+            scenario="compound", policy="hysteresis",
+            n_epochs=12, scenario_seed=0, seed=0,
+        )
+        assert out["kind"] == "compound"
+        # degraded telemetry leaves observation gaps in the monitor, and
+        # fault churn boots switches back (charged, not free)
+        assert out["counters"]["total_gaps"] > 0
+        assert out["counters"]["switch_power_ons"] > 0
+        assert out["counters"]["adaptive"]["applied"] == 12
+        assert out["transition_energy_j"] > 0

@@ -1,0 +1,156 @@
+"""Adversarial workload pack: builders, determinism, fingerprints."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.adversarial import (
+    ADVERSARIAL_SCENARIOS,
+    AdversarialScenario,
+    FaultSpec,
+    build_scenario,
+    compound,
+    flash_crowd,
+    incast_bursts,
+    regime_change,
+)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", ADVERSARIAL_SCENARIOS)
+    def test_default_scenarios_are_valid(self, name):
+        s = build_scenario(name)
+        assert s.kind == name
+        assert s.n_epochs >= 16
+        assert len(s.background_utilization) == len(s.regimes) == s.n_epochs
+        assert all(0.0 < v <= 1.0 for v in s.search_load)
+        assert all(0.0 <= v < 1.0 for v in s.background_utilization)
+        assert s.n_regimes >= 2
+
+    def test_flash_crowd_surges(self):
+        s = flash_crowd(n_epochs=24, surge_period=8, surge_length=2, noise=0.0)
+        surge = [e for e in range(24) if s.regimes[e] == 1]
+        base = [e for e in range(24) if s.regimes[e] == 0]
+        assert surge and base
+        # Surges repeat every period and load steps by the surge scale.
+        assert min(s.background_utilization[e] for e in surge) > max(
+            s.background_utilization[e] for e in base
+        )
+        assert min(s.search_load[e] for e in surge) > max(
+            s.search_load[e] for e in base
+        )
+
+    def test_flash_crowd_caps_search_surge(self):
+        s = flash_crowd(n_epochs=12, base_search=0.5, surge_scale=3.0,
+                        surge_search_cap=0.8, noise=0.0)
+        assert max(s.search_load) == pytest.approx(0.8)
+
+    def test_incast_epochs_marked_as_regime(self):
+        s = incast_bursts(n_epochs=18, burst_period=6, fanin=4)
+        assert s.incast_epochs == (5, 11, 17)
+        assert all(s.regimes[e] == 1 for e in s.incast_epochs)
+        assert s.incast_fanin == 4
+
+    def test_regime_change_segments(self):
+        s = regime_change(n_epochs=30, n_segments=3)
+        assert s.regimes[0] == 0 and s.regimes[-1] == 2
+        assert [s.regimes.count(r) for r in (0, 1, 2)] == [10, 10, 10]
+        # The busy middle segment's mean load clearly exceeds the quiet
+        # first segment's (that difference is the adversarial step).
+        quiet = np.mean(s.search_load[:10])
+        busy = np.mean(s.search_load[10:20])
+        assert busy > quiet + 0.2
+
+    def test_compound_carries_overlays(self):
+        s = compound(seed=3)
+        assert s.faults is not None and s.faults.seed == 4
+        assert s.telemetry is not None and s.telemetry.stats_loss_prob > 0
+        base = regime_change(seed=3)
+        assert s.search_load == base.search_load
+        assert s.regimes == base.regimes
+
+    def test_builder_validation(self):
+        with pytest.raises(ConfigurationError):
+            flash_crowd(n_epochs=0)
+        with pytest.raises(ConfigurationError):
+            flash_crowd(surge_scale=0.5)
+        with pytest.raises(ConfigurationError):
+            flash_crowd(surge_length=5, surge_period=5)
+        with pytest.raises(ConfigurationError):
+            flash_crowd(surge_search_cap=0.0)
+        with pytest.raises(ConfigurationError):
+            incast_bursts(burst_period=1)
+        with pytest.raises(ConfigurationError):
+            regime_change(n_segments=1)
+        with pytest.raises(ConfigurationError):
+            regime_change(n_epochs=2, n_segments=3)
+        with pytest.raises(ConfigurationError):
+            build_scenario("no-such-scenario")
+
+    def test_scenario_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdversarialScenario("x", "flash-crowd", (), (), ())
+        with pytest.raises(ConfigurationError):
+            AdversarialScenario("x", "flash-crowd", (0.5,), (0.2, 0.2), (0,))
+        with pytest.raises(ConfigurationError):
+            AdversarialScenario("x", "flash-crowd", (1.5,), (0.2,), (0,))
+        with pytest.raises(ConfigurationError):
+            AdversarialScenario("x", "flash-crowd", (0.5,), (1.0,), (0,))
+        with pytest.raises(ConfigurationError):
+            AdversarialScenario(
+                "x", "incast", (0.5,), (0.2,), (0,), incast_epochs=(3,),
+                incast_fanin=2,
+            )
+        with pytest.raises(ConfigurationError):
+            AdversarialScenario(
+                "x", "incast", (0.5,), (0.2,), (0,), incast_epochs=(0,),
+                incast_fanin=0,
+            )
+
+
+class TestDeterminismAndIdentity:
+    @pytest.mark.parametrize("name", ADVERSARIAL_SCENARIOS)
+    def test_rebuild_is_bit_identical(self, name):
+        a = build_scenario(name, seed=7)
+        b = build_scenario(name, seed=7)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize("name", ADVERSARIAL_SCENARIOS)
+    def test_seed_changes_identity(self, name):
+        a = build_scenario(name, seed=0)
+        b = build_scenario(name, seed=1)
+        assert a.name != b.name
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprints_distinguish_scenarios(self):
+        prints = {build_scenario(n).fingerprint() for n in ADVERSARIAL_SCENARIOS}
+        assert len(prints) == len(ADVERSARIAL_SCENARIOS)
+
+    @pytest.mark.parametrize("name", ADVERSARIAL_SCENARIOS)
+    def test_picklable(self, name):
+        s = build_scenario(name)
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone == s
+        assert clone.fingerprint() == s.fingerprint()
+
+    def test_n_epochs_override(self):
+        s = build_scenario("flash-crowd", n_epochs=24)
+        assert s.n_epochs == 24
+
+    def test_trace_roundtrip(self):
+        s = build_scenario("regime-change")
+        trace = s.trace()
+        assert len(trace) == s.n_epochs
+        np.testing.assert_allclose(trace.search_load, s.search_load)
+        np.testing.assert_allclose(
+            trace.background_utilization, s.background_utilization
+        )
+
+    def test_fault_spec_regenerates_schedule(self, ft4):
+        spec = FaultSpec(switch_fail_prob=0.05, seed=5)
+        a = spec.schedule(ft4, 12)
+        b = spec.schedule(ft4, 12)
+        assert a.events == b.events

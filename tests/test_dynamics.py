@@ -1,11 +1,17 @@
 """Flow churn dynamics and the controller's MILP fallback."""
 
+import math
+from collections import Counter
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.consolidation import GreedyConsolidator, validate_result
 from repro.control import SdnController
 from repro.errors import ConfigurationError
 from repro.flows import FlowChurnModel
+from repro.topology.fattree import FatTree
 from repro.workloads import SearchWorkload
 
 
@@ -110,6 +116,105 @@ class TestFlowChurnModel:
     def test_explicit_n_flows_overrides_density(self, ft4):
         churn = FlowChurnModel(ft4, n_flows=5, flows_per_host=3.0, seed_or_rng=6)
         assert churn.n_flows == 5
+
+
+class TestFlowChurnFlashCrowdScale:
+    """Property-based invariants at flash-crowd densities.
+
+    The adversarial replays drive the churn model with surging
+    utilization and (potentially) dense populations; these properties
+    pin down what must hold for *every* such parameterization, not just
+    the defaults: constant population, unique ids, demands inside the
+    per-flow ceiling band, balanced endpoints, and bit-identical
+    regeneration from the seed — including from a fresh process.
+    """
+
+    @given(
+        flows_per_host=st.floats(1.5, 8.0),
+        utilization=st.floats(0.05, 0.85),
+        jitter=st.floats(0.0, 0.5),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_dense_population_invariants(
+        self, flows_per_host, utilization, jitter, seed
+    ):
+        ft = FatTree(4)
+        n_hosts = len(list(ft.hosts))
+        churn = FlowChurnModel(
+            ft,
+            flows_per_host=flows_per_host,
+            demand_jitter=jitter,
+            seed_or_rng=seed,
+        )
+        expected = max(1, round(n_hosts * flows_per_host))
+        cap = ft.capacity("h0_0_0", ft.attachment_switch("h0_0_0"))
+        ceiling = churn.max_demand_fraction * cap
+        # Surge epochs interleaved with lulls, like a flash crowd.
+        for util in (0.1, utilization, utilization, 0.1):
+            ts = churn.advance(util)
+            assert len(ts) == expected
+            ids = [f.flow_id for f in ts]
+            assert len(set(ids)) == expected
+            target = max(util * cap * n_hosts / expected, 1.0)
+            lo = min(0.5 * target, ceiling)
+            hi = min(1.5 * target, ceiling)
+            for f in ts:
+                assert lo - 1e-6 <= f.demand_bps <= hi + 1e-6
+                assert f.demand_bps <= ceiling + 1e-6
+            # Least-loaded endpoint balancing: no access link ever
+            # carries more than its fair ceiling of elephants, at any
+            # density (the routability property the replays lean on).
+            fair = math.ceil(expected / n_hosts)
+            assert max(Counter(f.src for f in ts).values()) <= fair
+            # dst picks exclude the flow's own src, so the destination
+            # side can overshoot the fair share by at most one.
+            assert max(Counter(f.dst for f in ts).values()) <= fair + 1
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_regeneration_is_bit_identical(self, seed):
+        ft = FatTree(4)
+        kw = dict(flows_per_host=4.0, demand_jitter=0.3)
+        a = FlowChurnModel(ft, seed_or_rng=seed, **kw)
+        b = FlowChurnModel(FatTree(4), seed_or_rng=seed, **kw)
+        for util in (0.15, 0.4, 0.4, 0.15):
+            ta, tb = a.advance(util), b.advance(util)
+            assert [
+                (f.flow_id, f.src, f.dst, f.demand_bps) for f in ta
+            ] == [(f.flow_id, f.src, f.dst, f.demand_bps) for f in tb]
+
+    def test_cross_process_determinism(self):
+        """The flash-crowd churn sequence digests identically in a
+        fresh interpreter (nothing depends on process-global state)."""
+        import hashlib
+        import subprocess
+        import sys
+
+        script = (
+            "import hashlib\n"
+            "from repro.flows import FlowChurnModel\n"
+            "from repro.topology.fattree import FatTree\n"
+            "c = FlowChurnModel(FatTree(4), flows_per_host=4.0, seed_or_rng=9)\n"
+            "h = hashlib.sha256()\n"
+            "for u in (0.15, 0.4, 0.4, 0.15):\n"
+            "    for f in c.advance(u):\n"
+            "        h.update(f'{f.flow_id}|{f.src}|{f.dst}|{f.demand_bps!r};'"
+            ".encode())\n"
+            "print(h.hexdigest())\n"
+        )
+        remote = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        churn = FlowChurnModel(FatTree(4), flows_per_host=4.0, seed_or_rng=9)
+        h = hashlib.sha256()
+        for u in (0.15, 0.4, 0.4, 0.15):
+            for f in churn.advance(u):
+                h.update(f"{f.flow_id}|{f.src}|{f.dst}|{f.demand_bps!r};".encode())
+        assert h.hexdigest() == remote
 
 
 class TestMilpFallback:

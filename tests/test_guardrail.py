@@ -13,6 +13,7 @@ from repro.control import (
     GUARD_REJECTED,
     GUARD_ROLLBACK,
     GUARD_VIOLATION,
+    OperatingPoint,
     ScaleFactorController,
     SdnController,
     SlaGuardrail,
@@ -221,6 +222,16 @@ class TestControllerGuardrail:
         controller.handle_failures(traffic, switches=[victim])
         assert guardrail.last_good is None
 
+    def test_kcontrol_counters_surfaced(self, workload, traffic):
+        kc = ScaleFactorController(BUDGET_S, k_initial=2.0, k_max=4.0)
+        controller, _ = make_controller(workload, kcontrol=kc)
+        controller.run_epoch(traffic)
+        controller.observe_sla(3e-3)  # deadband: audited, K held
+        counters = controller.telemetry_counters()
+        assert counters["kcontrol"]["k"] == 2.0
+        assert counters["kcontrol"]["decisions"] == 1
+        assert counters["kcontrol"]["reasons"] == {"deadband": 1}
+
     def test_unguarded_controller_is_unchanged(self, workload, traffic):
         guarded, _ = make_controller(workload, guarded=True)
         plain, _ = make_controller(workload, guarded=False)
@@ -230,3 +241,91 @@ class TestControllerGuardrail:
             assert a.result.routing.items() == b.result.routing.items()
             assert a.result.n_switches_on == b.result.n_switches_on
             assert b.guardrail_action == GUARD_NONE
+
+
+class TestAdaptiveGuardrailInteraction:
+    """apply_operating_point composing with (not fighting) the watchdog."""
+
+    def make_adaptive(self, workload):
+        kc = ScaleFactorController(BUDGET_S, k_initial=2.0, k_max=4.0)
+        controller, guardrail = make_controller(workload, kcontrol=kc)
+        return controller, guardrail, kc
+
+    def test_apply_moves_k_and_syncs_kcontrol(self, workload, traffic):
+        controller, _, kc = self.make_adaptive(workload)
+        controller.run_epoch(traffic)
+        assert controller.apply_operating_point(OperatingPoint(4.0, "no-pm"))
+        assert controller.scale_factor == 4.0
+        assert kc.k == 4.0 and kc.syncs == 1
+        adaptive = controller.telemetry_counters()["adaptive"]
+        assert adaptive == {"applied": 1, "deferred": 0}
+
+    def test_apply_sets_staleness_inflation(self, workload, traffic):
+        controller, _, _ = self.make_adaptive(workload)
+        controller.run_epoch(traffic)
+        controller.apply_operating_point(OperatingPoint(2.0, "no-pm", 0.3))
+        assert controller.monitor.staleness_inflation == 0.3
+
+    def test_escalation_then_shrink_defers_one_adjustment_per_epoch(
+        self, workload, traffic
+    ):
+        """Watchdog escalates at epoch e; the adaptive layer's shrinking
+        proposal for epoch e+1 is deferred, so K moves exactly once."""
+        controller, guardrail, kc = self.make_adaptive(workload)
+        controller.run_epoch(traffic)
+        controller.observe_sla(3e-3)  # arm last-good (deadband for kcontrol)
+        decision = controller.observe_sla(9e-3)  # violated *at* last-good
+        assert decision.action == GUARD_ESCALATE
+        assert controller.scale_factor == 3.0
+        controller.run_epoch(traffic)  # the epoch the escalated K governs
+        assert not controller.apply_operating_point(OperatingPoint(1.0, "no-pm"))
+        assert controller.scale_factor == 3.0  # the escalation stands alone
+        assert controller.adaptive_deferred == 1
+        assert kc.k == 3.0 and kc.syncs == 0
+
+    def test_escalation_then_same_direction_supersedes(self, workload, traffic):
+        """A raising proposal right after an escalation is NOT deferred:
+        both want more headroom, and the adoption replaces (not stacks
+        on) the watchdog's step — still one K adjustment this epoch."""
+        controller, _, kc = self.make_adaptive(workload)
+        controller.run_epoch(traffic)
+        controller.observe_sla(3e-3)
+        controller.run_epoch(traffic)
+        controller.observe_sla(9e-3)  # ESCALATE: K 2 -> 3
+        assert controller.apply_operating_point(OperatingPoint(4.0, "no-pm"))
+        assert controller.scale_factor == 4.0
+        assert kc.k == 4.0 and kc.syncs == 1
+
+    def test_cooldown_defers_shrink_but_not_growth(self, workload, traffic):
+        controller, guardrail, _ = self.make_adaptive(workload)
+        controller.run_epoch(traffic)
+        guardrail.start_cooldown()
+        assert not controller.apply_operating_point(OperatingPoint(1.0, "no-pm"))
+        assert controller.apply_operating_point(OperatingPoint(3.0, "no-pm"))
+        assert controller.scale_factor == 3.0
+
+    def test_rollback_target_stays_valid_across_adaptive_move(
+        self, workload, traffic
+    ):
+        """An adaptive K move between arming and violation must not
+        leave the guardrail pointing at a stale rollback target."""
+        controller, guardrail, _ = self.make_adaptive(workload)
+        controller.run_epoch(traffic)
+        controller.observe_sla(1e-3)  # arm: current config is known-good
+        good_routing = controller.current_routing
+        good_subnet = controller.current_subnet
+        controller.apply_operating_point(OperatingPoint(4.0, "no-pm"))
+        observe_low_demand(controller, traffic)
+        controller.run_epoch(traffic)  # optimistic monitor shrinks the subnet
+        assert controller.current_routing is not good_routing
+        decision = controller.observe_sla(8e-3)
+        assert decision.action == GUARD_ROLLBACK
+        assert controller.current_routing is good_routing
+        assert controller.current_subnet is good_subnet
+
+    def test_unguarded_apply_never_defers(self, workload, traffic):
+        controller, _ = make_controller(workload, guarded=False)
+        controller.run_epoch(traffic)
+        assert controller.apply_operating_point(OperatingPoint(1.0, "no-pm"))
+        assert controller.scale_factor == 1.0
+        assert controller.adaptive_deferred == 0

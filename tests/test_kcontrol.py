@@ -3,6 +3,15 @@
 import pytest
 
 from repro.control import ScaleFactorController
+from repro.control.kcontrol import (
+    K_CLAMPED,
+    K_DEADBAND,
+    K_ESCALATED,
+    K_HELD_MISSING,
+    K_LOWER,
+    K_RAISE,
+    K_SYNC,
+)
 from repro.errors import ConfigurationError
 
 
@@ -69,3 +78,70 @@ class TestScaleFactorController:
         c = self.make()
         with pytest.raises(ConfigurationError):
             c.update(-1.0)
+
+    def test_rejects_non_finite_tail(self):
+        """A blinded-telemetry nan must NOT silently take the dead-band
+        branch (nan compares false against both thresholds)."""
+        c = self.make(k_initial=2.0)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConfigurationError):
+                c.update(bad)
+        with pytest.raises(ConfigurationError):
+            c.update("0.003")  # type: ignore[arg-type]
+        assert c.k == 2.0
+        assert not c.decisions  # rejected inputs leave no audit entry
+
+    def test_hold_last_k_is_audited(self):
+        c = self.make(k_initial=2.0)
+        assert c.hold_last_k() == 2.0
+        assert c.holds == 1
+        assert c.adjustments == 0
+        (d,) = c.decisions
+        assert d.reason == K_HELD_MISSING
+        assert d.measured_tail_s is None
+        assert d.k_before == d.k_after == 2.0
+
+    def test_escalate_steps_and_saturates(self):
+        c = self.make(k_initial=3.0)
+        assert c.escalate() == 4.0
+        assert c.escalate() is None  # at k_max: no remedy
+        assert c.escalations == 1
+        assert [d.reason for d in c.decisions] == [K_ESCALATED]
+
+    def test_sync_adopts_external_k(self):
+        c = self.make(k_initial=1.0)
+        assert c.sync(4.0) == 4.0
+        assert c.sync(4.0) == 4.0  # no-op sync is not audited
+        assert c.syncs == 1
+        assert c.adjustments == 0
+        with pytest.raises(ConfigurationError):
+            c.sync(0.5)
+        with pytest.raises(ConfigurationError):
+            c.sync(9.0)
+        # escalation base is coherent after a sync down
+        c.sync(2.0)
+        assert c.escalate() == 3.0
+
+    def test_decision_log_and_counters(self):
+        c = self.make()
+        c.update(10e-3)   # raise 1 -> 2
+        c.update(3.5e-3)  # deadband
+        c.update(0.0)     # lower 2 -> 1
+        c.update(0.0)     # clamped at 1
+        c.hold_last_k()
+        c.sync(3.0)
+        c.escalate()
+        reasons = [d.reason for d in c.decisions]
+        assert reasons == [
+            K_RAISE, K_DEADBAND, K_LOWER, K_CLAMPED,
+            K_HELD_MISSING, K_SYNC, K_ESCALATED,
+        ]
+        assert [d.epoch for d in c.decisions] == list(range(7))
+        ctr = c.counters()
+        assert ctr["k"] == 4.0
+        assert ctr["decisions"] == 7
+        assert ctr["reasons"][K_RAISE] == 1
+        assert ctr["holds"] == 1 and ctr["syncs"] == 1 and ctr["escalations"] == 1
+        # every recorded transition is internally consistent
+        for prev, nxt in zip(c.decisions, c.decisions[1:]):
+            assert prev.k_after == nxt.k_before
